@@ -1,0 +1,431 @@
+package memlife_test
+
+// One benchmark per reproduced table and figure of the paper (see
+// DESIGN.md section 4), plus the ablation benches of section 5 and a
+// set of micro-benchmarks for the hot kernels. The macro benches run
+// the same experiment drivers the CLI uses, at the reduced "fast"
+// scale; the regenerated rows/series go to the benchmark log when run
+// with -v via b.Log.
+
+import (
+	"sync"
+	"testing"
+
+	"memlife/internal/aging"
+	"memlife/internal/crossbar"
+	"memlife/internal/dataset"
+	"memlife/internal/device"
+	"memlife/internal/experiments"
+	"memlife/internal/lifetime"
+	"memlife/internal/mapping"
+	"memlife/internal/nn"
+	"memlife/internal/tensor"
+	"memlife/internal/train"
+	"memlife/internal/tuning"
+)
+
+var benchOpt = experiments.Options{Fast: true, Seed: 1}
+
+// benchLifetimeConfig is the shortened budget macro benches use so a
+// single iteration stays in the seconds range.
+func benchLifetimeConfig(target float64) lifetime.Config {
+	cfg := lifetime.DefaultConfig()
+	cfg.TargetAcc = target
+	cfg.AppsPerCycle = 1000
+	cfg.MaxCycles = 12
+	cfg.TuneCap = 20
+	cfg.EvalN = 48
+	return cfg
+}
+
+var (
+	leNetOnce sync.Once
+	leNetB    *experiments.Bundle
+	leNetErr  error
+
+	targetOnce sync.Once
+	targetVal  float64
+	targetErr  error
+)
+
+// benchTarget memoizes the per-bundle scenario target accuracy.
+func benchTarget(b *testing.B, bundle *experiments.Bundle) float64 {
+	b.Helper()
+	targetOnce.Do(func() { targetVal, targetErr = experiments.ScenarioTarget(bundle, benchOpt) })
+	if targetErr != nil {
+		b.Fatal(targetErr)
+	}
+	return targetVal
+}
+
+func leNetBundle(b *testing.B) *experiments.Bundle {
+	b.Helper()
+	leNetOnce.Do(func() { leNetB, leNetErr = experiments.LeNetBundle(benchOpt) })
+	if leNetErr != nil {
+		b.Fatal(leNetErr)
+	}
+	return leNetB
+}
+
+var (
+	vggOnce sync.Once
+	vggB    *experiments.Bundle
+	vggErr  error
+)
+
+func vggBundle(b *testing.B) *experiments.Bundle {
+	b.Helper()
+	vggOnce.Do(func() { vggB, vggErr = experiments.VGGBundle(benchOpt) })
+	if vggErr != nil {
+		b.Fatal(vggErr)
+	}
+	return vggB
+}
+
+// BenchmarkTable1Lifetime regenerates the Table I lifetime comparison
+// (T+T vs ST+T vs ST+AT) on the LeNet-5 case at bench scale.
+func BenchmarkTable1Lifetime(b *testing.B) {
+	bundle := leNetBundle(b)
+	target := benchTarget(b, bundle)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.Table1BundleWithConfig(bundle, benchOpt, benchLifetimeConfig(target))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if row.LifeTT > row.LifeSTT {
+			b.Fatalf("Table I ordering violated: T+T %d > ST+T %d", row.LifeTT, row.LifeSTT)
+		}
+	}
+}
+
+// BenchmarkTable2SkewedTraining regenerates the Table II parameter rows.
+func BenchmarkTable2SkewedTraining(b *testing.B) {
+	bundle := leNetBundle(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats := train.NetworkStats(bundle.Skewed)
+		if len(stats) != 5 {
+			b.Fatalf("LeNet-5 must report 5 weight layers, got %d", len(stats))
+		}
+	}
+}
+
+// BenchmarkFig3Distributions regenerates the conventional-training
+// distribution histograms of Fig. 3.
+func BenchmarkFig3Distributions(b *testing.B) {
+	leNetBundle(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Fig3(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.MeanRelConductance < 0.3 {
+			b.Fatalf("conventional training should sit mid-range, got %g", d.MeanRelConductance)
+		}
+	}
+}
+
+// BenchmarkFig4AgingBounds regenerates the aged-range trajectory of
+// Fig. 4.
+func BenchmarkFig4AgingBounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig4(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pts[len(pts)-1].UsableLevels >= pts[0].UsableLevels {
+			b.Fatal("levels must decay with stress")
+		}
+	}
+}
+
+// BenchmarkFig6SkewedDistributions regenerates the skewed-training
+// distribution histograms of Fig. 6.
+func BenchmarkFig6SkewedDistributions(b *testing.B) {
+	leNetBundle(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Fig6(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.MeanRelConductance > 0.4 {
+			b.Fatalf("skewed training should push towards low conductance, got %g", d.MeanRelConductance)
+		}
+	}
+}
+
+// BenchmarkFig7RegularizerShape regenerates the penalty curves of Fig. 7.
+func BenchmarkFig7RegularizerShape(b *testing.B) {
+	leNetBundle(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Penalty.X) == 0 {
+			b.Fatal("penalty series must not be empty")
+		}
+	}
+}
+
+// BenchmarkFig8RangeSelection regenerates the iterative common-range
+// selection of Fig. 8 on an unevenly aged layer.
+func BenchmarkFig8RangeSelection(b *testing.B) {
+	leNetBundle(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Candidates) == 0 {
+			b.Fatal("selection must evaluate candidates")
+		}
+	}
+}
+
+// BenchmarkFig9VGGLayer3Histogram regenerates the VGG-16 third-layer
+// skewed weight histogram of Fig. 9.
+func BenchmarkFig9VGGLayer3Histogram(b *testing.B) {
+	vggBundle(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Hist.N == 0 {
+			b.Fatal("histogram must not be empty")
+		}
+	}
+}
+
+// BenchmarkFig10TuningTrend regenerates the tuning-iterations-vs-
+// applications series of Fig. 10 (LeNet case) at bench scale.
+func BenchmarkFig10TuningTrend(b *testing.B) {
+	bundle := leNetBundle(b)
+	cfg := benchLifetimeConfig(benchTarget(b, bundle))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := bundle.Normal.SnapshotParams()
+		res, err := lifetime.Run(bundle.Normal, bundle.TrainDS, lifetime.TT,
+			experiments.DeviceParams(), experiments.AgingModel(), experiments.TempK, cfg)
+		bundle.Normal.RestoreParams(snap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Records) == 0 {
+			b.Fatal("run must record cycles")
+		}
+	}
+}
+
+// BenchmarkFig11ConvVsFC regenerates the conv-vs-FC aging curves of
+// Fig. 11 at bench scale.
+func BenchmarkFig11ConvVsFC(b *testing.B) {
+	bundle := leNetBundle(b)
+	cfg := benchLifetimeConfig(benchTarget(b, bundle))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := bundle.Normal.SnapshotParams()
+		res, err := lifetime.Run(bundle.Normal, bundle.TrainDS, lifetime.TT,
+			experiments.DeviceParams(), experiments.AgingModel(), experiments.TempK, cfg)
+		bundle.Normal.RestoreParams(snap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, rec := range res.Records {
+			if rec.ConvUpper <= 0 || rec.FCUpper <= 0 {
+				b.Fatal("per-kind upper bounds must be recorded")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationStressModel compares power-proportional vs uniform
+// per-pulse stress at bench scale (T+T vs ST+T under both).
+func BenchmarkAblationStressModel(b *testing.B) {
+	bundle := leNetBundle(b)
+	cfg := benchLifetimeConfig(benchTarget(b, bundle))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, uniform := range []bool{false, true} {
+			p := experiments.DeviceParams()
+			p.UniformStress = uniform
+			snap := bundle.Skewed.SnapshotParams()
+			_, err := lifetime.Run(bundle.Skewed, bundle.TrainDS, lifetime.STT,
+				p, experiments.AgingModel(), experiments.TempK, cfg)
+			bundle.Skewed.RestoreParams(snap)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationTracingDensity sweeps the representative-tracing
+// stride (1, 3, 5) at bench scale.
+func BenchmarkAblationTracingDensity(b *testing.B) {
+	bundle := leNetBundle(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, stride := range []int{1, 3, 5} {
+			cfg := benchLifetimeConfig(benchTarget(b, bundle))
+			cfg.TraceStride = stride
+			snap := bundle.Skewed.SnapshotParams()
+			_, err := lifetime.Run(bundle.Skewed, bundle.TrainDS, lifetime.STAT,
+				experiments.DeviceParams(), experiments.AgingModel(), experiments.TempK, cfg)
+			bundle.Skewed.RestoreParams(snap)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationLevels compares the 32- and 64-level devices at
+// bench scale.
+func BenchmarkAblationLevels(b *testing.B) {
+	bundle := leNetBundle(b)
+	cfg := benchLifetimeConfig(benchTarget(b, bundle))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range []device.Params{device.Params32(), device.Params64()} {
+			snap := bundle.Skewed.SnapshotParams()
+			_, err := lifetime.Run(bundle.Skewed, bundle.TrainDS, lifetime.STAT,
+				p, experiments.AgingModel(), experiments.TempK, cfg)
+			bundle.Skewed.RestoreParams(snap)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationRangePolicy compares the aged-range selection
+// policies at bench scale.
+func BenchmarkAblationRangePolicy(b *testing.B) {
+	bundle := leNetBundle(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pol := range []mapping.PolicyKind{mapping.AgingAware, mapping.WorstCase, mapping.MeanBound} {
+			cfg := benchLifetimeConfig(benchTarget(b, bundle))
+			p := pol
+			cfg.PolicyOverride = &p
+			snap := bundle.Skewed.SnapshotParams()
+			_, err := lifetime.Run(bundle.Skewed, bundle.TrainDS, lifetime.STAT,
+				experiments.DeviceParams(), experiments.AgingModel(), experiments.TempK, cfg)
+			bundle.Skewed.RestoreParams(snap)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// ---- micro-benchmarks for the hot kernels ----
+
+func BenchmarkMatMul64(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	x := tensor.New(64, 64)
+	y := tensor.New(64, 64)
+	out := tensor.New(64, 64)
+	rng.FillNormal(x, 0, 1)
+	rng.FillNormal(y, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInto(out, x, y)
+	}
+}
+
+func BenchmarkIm2Col(b *testing.B) {
+	g := tensor.ConvGeom{InC: 16, InH: 16, InW: 16, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	rng := tensor.NewRNG(1)
+	in := tensor.New(g.InC, g.InH, g.InW)
+	rng.FillNormal(in, 0, 1)
+	cols := tensor.New(g.OutH()*g.OutW(), g.InC*g.KH*g.KW)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Im2Col(cols, in, g)
+	}
+}
+
+func BenchmarkLeNetForward(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	net, err := nn.NewLeNet5(nn.LeNetConfig{InC: 3, H: 16, W: 16, Classes: 10}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.New(16, 3*16*16)
+	rng.FillNormal(x, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x, false)
+	}
+}
+
+func BenchmarkCrossbarMapWeights(b *testing.B) {
+	p := device.Params32()
+	rng := tensor.NewRNG(1)
+	w := tensor.New(128, 64)
+	rng.FillNormal(w, 0, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cb, err := crossbar.New(128, 64, p, aging.DefaultModel(), 300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		cb.MapWeights(w, p.RminFresh, p.RmaxFresh)
+	}
+}
+
+func BenchmarkEffectiveWeights(b *testing.B) {
+	p := device.Params32()
+	rng := tensor.NewRNG(1)
+	w := tensor.New(128, 64)
+	rng.FillNormal(w, 0, 0.5)
+	cb, err := crossbar.New(128, 64, p, aging.DefaultModel(), 300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cb.MapWeights(w, p.RminFresh, p.RmaxFresh)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cb.EffectiveWeights()
+	}
+}
+
+func BenchmarkTuneIteration(b *testing.B) {
+	cfgDS := dataset.SynthConfig{Classes: 4, TrainN: 96, TestN: 32, C: 3, H: 8, W: 8, Noise: 0.2, Seed: 9}
+	trainDS, testDS := dataset.MustGenerate(cfgDS)
+	net, err := nn.NewMLP("bench", []int{trainDS.SampleSize(), 24, 4}, tensor.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := train.Train(net, trainDS, testDS, train.Config{Epochs: 3, BatchSize: 16, LR: 0.02, Momentum: 0.9, Seed: 1}); err != nil {
+		b.Fatal(err)
+	}
+	mn, err := crossbar.NewMappedNetwork(net, device.Params32(), aging.DefaultModel(), 300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := mapping.Map(mn, mapping.Config{Policy: mapping.Fresh}, nil, nil); err != nil {
+		b.Fatal(err)
+	}
+	batch := trainDS.Batches(64, nil)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mn.Drift(0.05, tensor.NewRNG(int64(i)))
+		if _, err := tuning.Tune(mn, trainDS, batch.X, batch.Y, tuning.Config{
+			MaxIters: 2, TargetAcc: 1.0, BatchSize: 32, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Command memlife runs the reproduction experiments of "Aging-aware
+// Lifetime Enhancement for Memristor-based Neuromorphic Computing"
+// (DATE 2019). Each experiment regenerates one table or figure of the
+// paper's evaluation; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded results.
+//
+// Usage:
+//
+//	memlife -list
+//	memlife -run table1 [-fast] [-seed N] [-v]
+//	memlife -all [-fast]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"memlife/internal/experiments"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments")
+		run    = flag.String("run", "", "comma-separated experiment ids to run")
+		all    = flag.Bool("all", false, "run every experiment")
+		fast   = flag.Bool("fast", false, "use reduced sizes/budgets (seconds instead of minutes)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		verb   = flag.Bool("v", false, "log progress to stderr")
+		outDir = flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return
+	case *all || *run != "":
+		opt := experiments.Options{Fast: *fast, Seed: *seed}
+		if *verb {
+			opt.Log = os.Stderr
+		}
+		var ids []string
+		if *all {
+			for _, e := range experiments.All() {
+				ids = append(ids, e.ID)
+			}
+		} else {
+			ids = strings.Split(*run, ",")
+		}
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "memlife: creating -out dir: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		for _, id := range ids {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "memlife: unknown experiment %q (try -list)\n", id)
+				os.Exit(1)
+			}
+			var w io.Writer = os.Stdout
+			var f *os.File
+			if *outDir != "" {
+				var err error
+				f, err = os.Create(filepath.Join(*outDir, id+".txt"))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "memlife: %v\n", err)
+					os.Exit(1)
+				}
+				w = io.MultiWriter(os.Stdout, f)
+			}
+			fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+			start := time.Now()
+			err := e.Run(w, opt)
+			if f != nil {
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memlife: %s failed: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Printf("=== %s done in %s ===\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+		return
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

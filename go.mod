@@ -1,0 +1,3 @@
+module memlife
+
+go 1.22

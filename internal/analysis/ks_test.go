@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKSIdenticalSamplesNearZero(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if d := KSStatistic(a, a); d > 1e-12 {
+		t.Fatalf("KS of identical samples = %g, want 0", d)
+	}
+}
+
+func TestKSDisjointSamplesIsOne(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	if d := KSStatistic(a, b); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("KS of disjoint samples = %g, want 1", d)
+	}
+}
+
+func TestKSSymmetric(t *testing.T) {
+	a := []float64{1, 3, 5, 7}
+	b := []float64{2, 3, 8}
+	if KSStatistic(a, b) != KSStatistic(b, a) {
+		t.Fatal("KS must be symmetric")
+	}
+}
+
+func TestKSKnownValue(t *testing.T) {
+	// a: CDF steps at 1,2; b: CDF steps at 2,3. Max gap is 0.5 at x in
+	// [1,2).
+	a := []float64{1, 2}
+	b := []float64{2, 3}
+	if d := KSStatistic(a, b); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("KS = %g, want 0.5", d)
+	}
+}
+
+func TestKSShiftSensitivity(t *testing.T) {
+	// A shifted copy of the same distribution scores higher the larger
+	// the shift.
+	base := make([]float64, 100)
+	small := make([]float64, 100)
+	large := make([]float64, 100)
+	for i := range base {
+		v := float64(i) / 100
+		base[i] = v
+		small[i] = v + 0.05
+		large[i] = v + 0.5
+	}
+	if KSStatistic(base, small) >= KSStatistic(base, large) {
+		t.Fatal("larger shifts must score larger KS")
+	}
+}
+
+func TestKSEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty sample")
+		}
+	}()
+	KSStatistic(nil, []float64{1})
+}

@@ -1,0 +1,246 @@
+// Package counteraging implements the prior-art counter-aging
+// techniques the paper's related-work section discusses, as baselines
+// for the proposed framework:
+//
+//   - Pulse shaping ([9]): triangular or sinusoidal programming pulses
+//     whose average power is lower than the DC pulse of the same
+//     amplitude, reducing per-pulse stress at the cost of slower
+//     programming.
+//   - Series resistor ([11]): a resistor in series with each memristor
+//     suppresses the voltage (and current) across the device during
+//     programming; the divider weakens as the device resistance grows.
+//   - Row swapping ([12]): periodically remap logical matrix rows onto
+//     the physical crossbar rows so lightly-aged rows take over for
+//     heavily-aged ones, equalizing wear across the array.
+//
+// The paper's point is that these techniques either cost extra hardware
+// (series resistors), programming time (pulse shaping) or system
+// complexity (swapping), while the proposed software/hardware
+// co-optimization costs nothing; this package makes that comparison
+// quantitative.
+package counteraging
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"memlife/internal/crossbar"
+	"memlife/internal/device"
+)
+
+// PulseShape selects the programming pulse waveform of [9].
+type PulseShape int
+
+const (
+	// PulseDC is the conventional rectangular pulse (factor 1).
+	PulseDC PulseShape = iota
+	// PulseTriangular ramps linearly up and down; its mean squared
+	// voltage is 1/3 of the DC pulse.
+	PulseTriangular
+	// PulseSinusoidal follows a half-sine; its mean squared voltage is
+	// 1/2 of the DC pulse.
+	PulseSinusoidal
+)
+
+// String names the shape.
+func (s PulseShape) String() string {
+	switch s {
+	case PulseDC:
+		return "dc"
+	case PulseTriangular:
+		return "triangular"
+	case PulseSinusoidal:
+		return "sinusoidal"
+	default:
+		return fmt.Sprintf("shape(%d)", int(s))
+	}
+}
+
+// EnergyFactor returns the pulse's mean V^2 relative to a DC pulse of
+// the same amplitude: 1 for DC, 1/3 for triangular (mean of t^2 over a
+// symmetric ramp), 1/2 for half-sine (mean of sin^2).
+func (s PulseShape) EnergyFactor() float64 {
+	switch s {
+	case PulseTriangular:
+		return 1.0 / 3.0
+	case PulseSinusoidal:
+		return 0.5
+	default:
+		return 1
+	}
+}
+
+// SlowdownFactor returns how many shaped pulses replace one DC pulse to
+// deliver the same programming dose: the inverse of the energy factor,
+// rounded up. Pulse shaping trades programming time for stress.
+func (s PulseShape) SlowdownFactor() int {
+	return int(math.Ceil(1 / s.EnergyFactor()))
+}
+
+// ApplyPulseShape derates the device's per-pulse stress by the shape's
+// energy factor and stretches the pulse width by the slowdown factor,
+// returning the modified parameters. One shaped (longer) pulse still
+// moves the device one level, so the stress per programmed level drops
+// to EnergyFactor of the DC case — the "lower average voltage causes
+// less aging" observation of [9] — at the cost of SlowdownFactor more
+// programming time.
+func ApplyPulseShape(p device.Params, s PulseShape) device.Params {
+	out := p
+	base := p.StressDerate
+	if base == 0 {
+		base = 1
+	}
+	out.StressDerate = base * s.EnergyFactor()
+	out.PulseWidth = p.PulseWidth * float64(s.SlowdownFactor())
+	return out
+}
+
+// SeriesResistorParams models [11]: a fixed resistor Rs in series with
+// every cell. During programming the device sees only the divided
+// voltage V * R/(R+Rs), so the power dissipated in the device is
+// V^2 * R / (R+Rs)^2 instead of V^2 / R... relative to the undivided
+// pulse the stress is derated by (R/(R+Rs))^2. The divider is most
+// protective exactly where aging is worst — at low device resistance —
+// at the cost of one resistor per cell and a reduced programming
+// voltage budget.
+type SeriesResistorParams struct {
+	device.Params
+	// Rs is the series resistance in Ohms.
+	Rs float64
+}
+
+// Validate reports an error for non-physical configurations.
+func (p SeriesResistorParams) Validate() error {
+	if err := p.Params.Validate(); err != nil {
+		return err
+	}
+	if p.Rs < 0 {
+		return fmt.Errorf("counteraging: series resistance must be non-negative, got %g", p.Rs)
+	}
+	return nil
+}
+
+// StressDerating returns the factor (R/(R+Rs))^2 by which the series
+// resistor reduces the programming stress of a device currently at
+// resistance r.
+func (p SeriesResistorParams) StressDerating(r float64) float64 {
+	if r <= 0 {
+		panic(fmt.Sprintf("counteraging: non-positive resistance %g", r))
+	}
+	f := r / (r + p.Rs)
+	return f * f
+}
+
+// RowSwapper implements the structured row-remapping of [12]: logical
+// weight-matrix rows are assigned to physical crossbar rows so the
+// most-stressed physical rows carry the least-demanding logical rows.
+// Swapping costs a full reprogram of the swapped rows, so it is applied
+// periodically rather than continuously.
+type RowSwapper struct {
+	// Perm maps logical row -> physical row.
+	Perm []int
+}
+
+// NewRowSwapper returns the identity assignment for rows rows.
+func NewRowSwapper(rows int) *RowSwapper {
+	if rows < 1 {
+		panic(fmt.Sprintf("counteraging: need at least one row, got %d", rows))
+	}
+	perm := make([]int, rows)
+	for i := range perm {
+		perm[i] = i
+	}
+	return &RowSwapper{Perm: perm}
+}
+
+// rowStress returns the summed device stress of each physical row.
+func rowStress(cb *crossbar.Crossbar) []float64 {
+	out := make([]float64, cb.Rows)
+	for i := 0; i < cb.Rows; i++ {
+		for j := 0; j < cb.Cols; j++ {
+			out[i] += cb.Device(i, j).Stress()
+		}
+	}
+	return out
+}
+
+// rowDemand estimates how much programming a logical row attracts: the
+// summed distance of its weights from the weight minimum (rows holding
+// large conductances are programmed with more current).
+func rowDemand(w [][]float64) []float64 {
+	out := make([]float64, len(w))
+	for i, row := range w {
+		min := math.Inf(1)
+		for _, v := range row {
+			if v < min {
+				min = v
+			}
+		}
+		for _, v := range row {
+			out[i] += v - min
+		}
+	}
+	return out
+}
+
+// Rebalance reassigns logical rows to physical rows: the logical row
+// with the highest programming demand goes to the physical row with the
+// lowest accumulated stress, and so on. It returns the number of
+// logical rows whose physical assignment changed.
+func (s *RowSwapper) Rebalance(cb *crossbar.Crossbar, weights [][]float64) int {
+	if len(weights) != len(s.Perm) {
+		panic(fmt.Sprintf("counteraging: %d logical rows vs permutation of %d", len(weights), len(s.Perm)))
+	}
+	stress := rowStress(cb)
+	demand := rowDemand(weights)
+
+	physByStress := make([]int, cb.Rows)
+	for i := range physByStress {
+		physByStress[i] = i
+	}
+	sort.Slice(physByStress, func(a, b int) bool {
+		return stress[physByStress[a]] < stress[physByStress[b]]
+	})
+	logByDemand := make([]int, len(weights))
+	for i := range logByDemand {
+		logByDemand[i] = i
+	}
+	sort.Slice(logByDemand, func(a, b int) bool {
+		return demand[logByDemand[a]] > demand[logByDemand[b]]
+	})
+
+	changed := 0
+	newPerm := make([]int, len(s.Perm))
+	for k, logical := range logByDemand {
+		phys := physByStress[k]
+		newPerm[logical] = phys
+		if s.Perm[logical] != phys {
+			changed++
+		}
+	}
+	s.Perm = newPerm
+	return changed
+}
+
+// PermuteRows returns weights reordered so row i of the result is the
+// logical row assigned to physical row i — the matrix to hand to
+// Crossbar.MapWeights after a Rebalance.
+func (s *RowSwapper) PermuteRows(weights [][]float64) [][]float64 {
+	out := make([][]float64, len(weights))
+	for logical, phys := range s.Perm {
+		out[phys] = weights[logical]
+	}
+	return out
+}
+
+// LogicalVMMOrder returns, for each physical row index, the logical row
+// it carries (the inverse permutation), which the read-out periphery
+// uses to route inputs.
+func (s *RowSwapper) LogicalVMMOrder() []int {
+	inv := make([]int, len(s.Perm))
+	for logical, phys := range s.Perm {
+		inv[phys] = logical
+	}
+	return inv
+}

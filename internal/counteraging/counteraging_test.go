@@ -1,0 +1,216 @@
+package counteraging
+
+import (
+	"math"
+	"testing"
+
+	"memlife/internal/aging"
+	"memlife/internal/crossbar"
+	"memlife/internal/device"
+	"memlife/internal/tensor"
+)
+
+func TestPulseShapeFactors(t *testing.T) {
+	if PulseDC.EnergyFactor() != 1 || PulseDC.SlowdownFactor() != 1 {
+		t.Fatal("DC pulse must be the unit reference")
+	}
+	if math.Abs(PulseTriangular.EnergyFactor()-1.0/3) > 1e-12 {
+		t.Fatalf("triangular energy factor = %g, want 1/3", PulseTriangular.EnergyFactor())
+	}
+	if PulseTriangular.SlowdownFactor() != 3 {
+		t.Fatalf("triangular slowdown = %d, want 3", PulseTriangular.SlowdownFactor())
+	}
+	if math.Abs(PulseSinusoidal.EnergyFactor()-0.5) > 1e-12 {
+		t.Fatalf("sinusoidal energy factor = %g, want 1/2", PulseSinusoidal.EnergyFactor())
+	}
+	if PulseDC.String() != "dc" || PulseTriangular.String() != "triangular" {
+		t.Fatal("shape names")
+	}
+}
+
+// TestApplyPulseShapeReducesStress checks the net effect on device
+// stress: a shaped pulse train delivering the same dose costs less
+// normalized stress than the DC pulse, because stress scales with the
+// instantaneous power while the dose scales with energy.
+func TestApplyPulseShapeReducesStress(t *testing.T) {
+	base := device.Params32()
+	for _, shape := range []PulseShape{PulseTriangular, PulseSinusoidal} {
+		shaped := ApplyPulseShape(base, shape)
+		if err := shaped.Validate(); err != nil {
+			t.Fatalf("%v params invalid: %v", shape, err)
+		}
+		// Same level walk on both devices.
+		dBase := device.New(base)
+		dShaped := device.New(shaped)
+		dBase.Program(base.RminFresh, base.RminFresh, base.RmaxFresh)
+		dShaped.Program(shaped.RminFresh, shaped.RminFresh, shaped.RmaxFresh)
+		if dShaped.Stress() >= dBase.Stress() {
+			t.Fatalf("%v pulses must stress less: %g vs %g", shape, dShaped.Stress(), dBase.Stress())
+		}
+	}
+}
+
+func TestSeriesResistorDerating(t *testing.T) {
+	p := SeriesResistorParams{Params: device.Params32(), Rs: 10e3}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// At R = Rs the divider halves the voltage: stress derated 4x.
+	if got := p.StressDerating(10e3); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("derating at R=Rs = %g, want 0.25", got)
+	}
+	// The divider protects low-R (high current) states most.
+	if p.StressDerating(10e3) >= p.StressDerating(100e3) {
+		t.Fatal("derating must weaken as device resistance grows")
+	}
+	// No resistor, no derating.
+	none := SeriesResistorParams{Params: device.Params32(), Rs: 0}
+	if none.StressDerating(5e4) != 1 {
+		t.Fatal("Rs=0 must not derate")
+	}
+	bad := SeriesResistorParams{Params: device.Params32(), Rs: -1}
+	if bad.Validate() == nil {
+		t.Fatal("negative Rs must be rejected")
+	}
+}
+
+func TestSeriesResistorDeratingPanicsOnBadR(t *testing.T) {
+	p := SeriesResistorParams{Params: device.Params32(), Rs: 1e3}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.StressDerating(0)
+}
+
+func newTestArray(t *testing.T, rows, cols int) *crossbar.Crossbar {
+	t.Helper()
+	cb, err := crossbar.New(rows, cols, device.Params32(), aging.DefaultModel(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cb
+}
+
+func TestRowSwapperIdentityStart(t *testing.T) {
+	s := NewRowSwapper(4)
+	for i, p := range s.Perm {
+		if p != i {
+			t.Fatal("swapper must start as identity")
+		}
+	}
+	inv := s.LogicalVMMOrder()
+	for i, p := range inv {
+		if p != i {
+			t.Fatal("identity inverse must be identity")
+		}
+	}
+}
+
+func TestRowSwapperRebalances(t *testing.T) {
+	cb := newTestArray(t, 4, 3)
+	p := cb.Params()
+	// Stress physical row 0 heavily.
+	for k := 0; k < 20; k++ {
+		for j := 0; j < 3; j++ {
+			cb.Device(0, j).Program(p.RminFresh, p.RminFresh, p.RmaxFresh)
+			cb.Device(0, j).Program(p.RmaxFresh, p.RminFresh, p.RmaxFresh)
+		}
+	}
+	// Logical row 2 has the highest programming demand.
+	weights := [][]float64{
+		{0.1, 0.1, 0.1},
+		{0.2, 0.2, 0.2},
+		{0.0, 0.9, 0.9},
+		{0.3, 0.3, 0.3},
+	}
+	s := NewRowSwapper(4)
+	changed := s.Rebalance(cb, weights)
+	if changed == 0 {
+		t.Fatal("uneven stress must trigger reassignment")
+	}
+	if s.Perm[2] == 0 {
+		t.Fatal("the most demanding logical row must avoid the most stressed physical row")
+	}
+	// Round trip: permuting then reading back in logical order
+	// recovers every logical row exactly once.
+	phys := s.PermuteRows(weights)
+	seen := map[int]bool{}
+	for physRow, logical := range s.LogicalVMMOrder() {
+		if seen[logical] {
+			t.Fatal("permutation must be a bijection")
+		}
+		seen[logical] = true
+		for j := range weights[logical] {
+			if phys[physRow][j] != weights[logical][j] {
+				t.Fatal("PermuteRows must place logical rows at their physical slots")
+			}
+		}
+	}
+}
+
+// TestRowSwappingEqualizesWear runs the [12] baseline end-to-end on a
+// small array: with periodic rebalancing, the stress spread across
+// physical rows stays tighter than without.
+func TestRowSwappingEqualizesWear(t *testing.T) {
+	run := func(swap bool) float64 {
+		cb := newTestArray(t, 6, 4)
+		p := cb.Params()
+		rng := tensor.NewRNG(5)
+		// Logical weights with very uneven row demand.
+		weights := make([][]float64, 6)
+		for i := range weights {
+			weights[i] = make([]float64, 4)
+			for j := range weights[i] {
+				weights[i][j] = rng.Float64() * float64(i) / 5.0
+			}
+		}
+		s := NewRowSwapper(6)
+		for epoch := 0; epoch < 8; epoch++ {
+			if swap {
+				s.Rebalance(cb, weights)
+			}
+			phys := s.PermuteRows(weights)
+			flat := tensor.New(6, 4)
+			for i := range phys {
+				for j, v := range phys[i] {
+					flat.Set(v, i, j)
+				}
+			}
+			cb.MapWeights(flat, p.RminFresh, p.RmaxFresh)
+			// Exercise the rows: cycle every device once.
+			for i := 0; i < 6; i++ {
+				for j := 0; j < 4; j++ {
+					cb.StepDevice(i, j, +1)
+					cb.StepDevice(i, j, -1)
+				}
+			}
+		}
+		stress := rowStress(cb)
+		min, max := stress[0], stress[0]
+		for _, v := range stress[1:] {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		return max - min
+	}
+	spreadSwap := run(true)
+	spreadFixed := run(false)
+	if spreadSwap >= spreadFixed {
+		t.Fatalf("row swapping must tighten the wear spread: %g vs %g", spreadSwap, spreadFixed)
+	}
+}
+
+func TestRowSwapperValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero rows")
+		}
+	}()
+	NewRowSwapper(0)
+}

@@ -1,0 +1,376 @@
+// Package crossbar simulates memristor crossbar arrays implementing the
+// vector-matrix multiplications of a neural network (Fig. 1 of the
+// paper), including weight-to-conductance mapping (eq. (4)),
+// quantization onto the level grid, per-device aging state, and the
+// 1-of-9 representative tracing of Section IV-B.
+package crossbar
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"memlife/internal/aging"
+	"memlife/internal/device"
+	"memlife/internal/tensor"
+)
+
+// Crossbar is one rows x cols array of memristors implementing a weight
+// matrix W[rows][cols]: g_ij carries the weight from input i to output
+// j, and a column sums its devices' currents (I_j = sum_i V_i * g_ij).
+type Crossbar struct {
+	Rows, Cols int
+
+	params device.Params
+	model  aging.Model
+	tempK  float64
+
+	devices []*device.Device
+
+	// traceStride is the spacing of the representative traced devices
+	// (Section IV-B traces the center of every traceStride x
+	// traceStride block; the paper's value is 3, i.e. 1 of 9).
+	traceStride int
+
+	// Mapping state of the most recent MapWeights call (eq. (4)).
+	wMin, wMax float64
+	rLo, rHi   float64
+	mapped     bool
+}
+
+// New constructs a fresh crossbar.
+func New(rows, cols int, p device.Params, m aging.Model, tempK float64) (*Crossbar, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("crossbar: dimensions must be positive, got %dx%d", rows, cols)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if tempK <= 0 {
+		return nil, fmt.Errorf("crossbar: temperature must be positive, got %g K", tempK)
+	}
+	cb := &Crossbar{
+		Rows: rows, Cols: cols,
+		params: p, model: m, tempK: tempK,
+		devices:     make([]*device.Device, rows*cols),
+		traceStride: 3,
+	}
+	for i := range cb.devices {
+		cb.devices[i] = device.New(p)
+	}
+	return cb, nil
+}
+
+// Params returns the device technology parameters.
+func (c *Crossbar) Params() device.Params { return c.params }
+
+// Model returns the aging model.
+func (c *Crossbar) Model() aging.Model { return c.model }
+
+// TempK returns the operating temperature.
+func (c *Crossbar) TempK() float64 { return c.tempK }
+
+// SetTempK changes the operating temperature (K).
+func (c *Crossbar) SetTempK(t float64) {
+	if t <= 0 {
+		panic(fmt.Sprintf("crossbar: temperature must be positive, got %g", t))
+	}
+	c.tempK = t
+}
+
+// Device returns the device at row i, column j.
+func (c *Crossbar) Device(i, j int) *device.Device {
+	return c.devices[i*c.Cols+j]
+}
+
+// AgedBounds returns the true aged resistance window of device (i, j)
+// per eq. (6)/(7), from its actual accumulated stress.
+func (c *Crossbar) AgedBounds(i, j int) (lo, hi float64) {
+	return c.model.Bounds(c.params, c.Device(i, j).Stress(), c.tempK)
+}
+
+// MapRange returns the common resistance range [rLo, rHi] used by the
+// last MapWeights call. ok is false before any mapping.
+func (c *Crossbar) MapRange() (rLo, rHi float64, ok bool) {
+	return c.rLo, c.rHi, c.mapped
+}
+
+// WeightRange returns the [wMin, wMax] window of the last mapping.
+func (c *Crossbar) WeightRange() (wMin, wMax float64, ok bool) {
+	return c.wMin, c.wMax, c.mapped
+}
+
+// TargetResistance converts weight w to its target resistance under
+// eq. (4) with the mapping ranges [wMin,wMax] -> [gMin,gMax], where
+// gMin = 1/rHi and gMax = 1/rLo. Degenerate weight ranges map to gMin.
+func TargetResistance(w, wMin, wMax, rLo, rHi float64) float64 {
+	gMin, gMax := 1/rHi, 1/rLo
+	if wMax <= wMin {
+		return rHi
+	}
+	g := (gMax-gMin)/(wMax-wMin)*(w-wMin) + gMin
+	return 1 / g
+}
+
+// EffectiveWeight inverts eq. (4): the weight actually realized by a
+// device programmed to resistance r under the given mapping ranges.
+func EffectiveWeight(r, wMin, wMax, rLo, rHi float64) float64 {
+	gMin, gMax := 1/rHi, 1/rLo
+	if gMax <= gMin {
+		return wMin
+	}
+	g := 1 / r
+	return (g-gMin)/(gMax-gMin)*(wMax-wMin) + wMin
+}
+
+// MapStats reports the cost of one MapWeights call.
+type MapStats struct {
+	Pulses  int
+	Stress  float64
+	Clipped int // devices whose target fell outside their aged window
+}
+
+// MapWeights programs the trained weight matrix w (shape [Rows, Cols])
+// into the array using the common resistance range [rLo, rHi] (eq. (4)).
+// Each device is programmed within its own true aged window, so targets
+// beyond a worn device's reach are clipped (Fig. 4) and counted.
+func (c *Crossbar) MapWeights(w *tensor.Tensor, rLo, rHi float64) MapStats {
+	if w.Dim(0) != c.Rows || w.Dim(1) != c.Cols {
+		panic(fmt.Sprintf("crossbar: weight shape %v, want [%d %d]", w.Shape(), c.Rows, c.Cols))
+	}
+	if rLo <= 0 || rHi <= rLo {
+		panic(fmt.Sprintf("crossbar: invalid mapping range [%g, %g]", rLo, rHi))
+	}
+	wMin, wMax := w.MinMax()
+	c.wMin, c.wMax = wMin, wMax
+	c.rLo, c.rHi = rLo, rHi
+	c.mapped = true
+
+	var stats MapStats
+	for i := 0; i < c.Rows; i++ {
+		for j := 0; j < c.Cols; j++ {
+			target := TargetResistance(w.At(i, j), wMin, wMax, rLo, rHi)
+			lo, hi := c.AgedBounds(i, j)
+			res := c.Device(i, j).Program(target, lo, hi)
+			stats.Pulses += res.Pulses
+			stats.Stress += res.Stress
+			if res.Clipped {
+				stats.Clipped++
+			}
+		}
+	}
+	return stats
+}
+
+// EffectiveWeights reads back the weight matrix the array actually
+// implements, given its programmed resistances and the current mapping
+// ranges. Panics if the array has never been mapped.
+func (c *Crossbar) EffectiveWeights() *tensor.Tensor {
+	if !c.mapped {
+		panic("crossbar: EffectiveWeights before MapWeights")
+	}
+	out := tensor.New(c.Rows, c.Cols)
+	for i := 0; i < c.Rows; i++ {
+		for j := 0; j < c.Cols; j++ {
+			r := c.Device(i, j).Resistance()
+			out.Set(EffectiveWeight(r, c.wMin, c.wMax, c.rLo, c.rHi), i, j)
+		}
+	}
+	return out
+}
+
+// VMM computes the analog vector-matrix product the array performs for
+// one input vector x of length Rows: out_j = sum_i x_i * w_ij with the
+// *effective* (programmed, quantized, aged) weights.
+func (c *Crossbar) VMM(x *tensor.Tensor) *tensor.Tensor {
+	if x.Size() != c.Rows {
+		panic(fmt.Sprintf("crossbar: VMM input size %d, want %d", x.Size(), c.Rows))
+	}
+	return tensor.MatVec(c.EffectiveWeights().Transpose(), x)
+}
+
+// StepDevice applies one online-tuning pulse to device (i, j): dir > 0
+// increases the effective weight (conductance up, resistance down),
+// dir < 0 decreases it. Tuning pulses move the analog conductance by a
+// small fixed increment (device.Params.TunePulseDeltaG), bounded by the
+// device's aged window intersected with the fresh grid (the periphery
+// cannot program beyond the fresh range). It returns the stress added.
+func (c *Crossbar) StepDevice(i, j, dir int) float64 {
+	if dir == 0 {
+		return 0
+	}
+	lo, hi := c.AgedBounds(i, j)
+	if lo < c.params.RminFresh {
+		lo = c.params.RminFresh
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return c.Device(i, j).Pulse(dir, lo, hi)
+}
+
+// RandomizeAging assigns every device a lognormal endurance-variability
+// factor exp(N(0, sigma)), modelling device-to-device process variation
+// in aging rates. Call once on a fresh array.
+func (c *Crossbar) RandomizeAging(sigma float64, rng *tensor.RNG) {
+	if sigma < 0 {
+		panic(fmt.Sprintf("crossbar: negative aging variability %g", sigma))
+	}
+	for _, d := range c.devices {
+		d.SetAgingFactor(math.Exp(rng.Normal(0, sigma)))
+	}
+}
+
+// AddStress injects burn-in stress into every device (scaled by each
+// device's aging factor), modelling an array that has already lived
+// part of its life.
+func (c *Crossbar) AddStress(s float64) {
+	for _, d := range c.devices {
+		d.AddStress(s)
+	}
+}
+
+// Drift perturbs every device's resistance by Gaussian noise whose
+// standard deviation is *relative* to the device's current resistance
+// (sigma = 0.05 means 5% of R), clamped to its aged window.
+// Proportional drift is the physical form of read disturb — every
+// device's state moves by the same relative amount wherever it sits in
+// the range. This recoverable drift ([8]) is what makes periodic
+// re-tuning necessary in the first place.
+func (c *Crossbar) Drift(sigma float64, rng *tensor.RNG) {
+	if sigma < 0 {
+		panic(fmt.Sprintf("crossbar: negative drift sigma %g", sigma))
+	}
+	for i := 0; i < c.Rows; i++ {
+		for j := 0; j < c.Cols; j++ {
+			d := c.Device(i, j)
+			lo, hi := c.AgedBounds(i, j)
+			d.Drift(rng.Normal(0, sigma*d.Resistance()), lo, hi)
+		}
+	}
+}
+
+// TotalStress sums the accumulated stress over all devices.
+func (c *Crossbar) TotalStress() float64 {
+	s := 0.0
+	for _, d := range c.devices {
+		s += d.Stress()
+	}
+	return s
+}
+
+// TotalPulses sums the lifetime pulse counts over all devices.
+func (c *Crossbar) TotalPulses() int64 {
+	var n int64
+	for _, d := range c.devices {
+		n += d.Pulses()
+	}
+	return n
+}
+
+// MeanAgedUpperBound averages the true aged upper resistance bound over
+// all devices — the quantity plotted per layer type in Fig. 11.
+func (c *Crossbar) MeanAgedUpperBound() float64 {
+	s := 0.0
+	for _, d := range c.devices {
+		_, hi := c.model.Bounds(c.params, d.Stress(), c.tempK)
+		s += hi
+	}
+	return s / float64(len(c.devices))
+}
+
+// SetTraceStride changes the tracing density: the center of every
+// stride x stride block is traced. Stride 1 traces every device
+// (maximum bookkeeping); larger strides trade estimation accuracy for
+// cost. The paper uses 3.
+func (c *Crossbar) SetTraceStride(stride int) {
+	if stride < 1 {
+		panic(fmt.Sprintf("crossbar: trace stride must be >= 1, got %d", stride))
+	}
+	c.traceStride = stride
+}
+
+// TracedIndices returns the representative devices whose programming
+// history the mapping hardware traces: the center of every 3x3 block
+// ("every one out of nine memristors", Section IV-B). Arrays smaller
+// than the block size trace device (0, 0).
+func (c *Crossbar) TracedIndices() [][2]int {
+	var out [][2]int
+	start := c.traceStride / 2
+	for i := start; i < c.Rows; i += c.traceStride {
+		for j := start; j < c.Cols; j += c.traceStride {
+			out = append(out, [2]int{i, j})
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, [2]int{0, 0})
+	}
+	return out
+}
+
+// TracedUpperBounds returns the estimated aged upper resistance bounds
+// of the traced devices (eq. (6) applied to their traced histories),
+// sorted ascending. These are the candidate common-range bounds of the
+// iterative selection in Fig. 8.
+func (c *Crossbar) TracedUpperBounds() []float64 {
+	idx := c.TracedIndices()
+	out := make([]float64, 0, len(idx))
+	for _, ij := range idx {
+		_, hi := c.AgedBounds(ij[0], ij[1])
+		out = append(out, hi)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// TracedLowerBounds returns the estimated aged lower bounds of the
+// traced devices, sorted ascending.
+func (c *Crossbar) TracedLowerBounds() []float64 {
+	idx := c.TracedIndices()
+	out := make([]float64, 0, len(idx))
+	for _, ij := range idx {
+		lo, _ := c.AgedBounds(ij[0], ij[1])
+		out = append(out, lo)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// QuantizeWeights returns the hypothetical effective weights of mapping
+// w onto the level grid restricted to the common range [rLo, rHi],
+// assuming every device can reach its target (no per-device aging
+// clipping). This is the software-side simulation the aging-aware range
+// selection uses to score candidate ranges *before* committing any
+// programming pulses.
+func (c *Crossbar) QuantizeWeights(w *tensor.Tensor, rLo, rHi float64) *tensor.Tensor {
+	wMin, wMax := w.MinMax()
+	out := tensor.New(w.Shape()...)
+	for i, v := range w.Data() {
+		target := TargetResistance(v, wMin, wMax, rLo, rHi)
+		lvl := c.params.NearestLevelIn(target, rLo, rHi)
+		r := c.params.LevelResistance(lvl)
+		out.Data()[i] = EffectiveWeight(r, wMin, wMax, rLo, rHi)
+	}
+	return out
+}
+
+// UsableLevelStats summarizes the usable-level distribution across the
+// array (min/mean over devices), after aging.
+func (c *Crossbar) UsableLevelStats() (min int, mean float64) {
+	min = math.MaxInt32
+	total := 0
+	for i := 0; i < c.Rows; i++ {
+		for j := 0; j < c.Cols; j++ {
+			lo, hi := c.AgedBounds(i, j)
+			n := c.params.UsableLevels(lo, hi)
+			if n < min {
+				min = n
+			}
+			total += n
+		}
+	}
+	return min, float64(total) / float64(c.Rows*c.Cols)
+}

@@ -1,0 +1,184 @@
+package crossbar
+
+import (
+	"fmt"
+
+	"memlife/internal/aging"
+	"memlife/internal/device"
+	"memlife/internal/nn"
+	"memlife/internal/tensor"
+)
+
+// MappedLayer binds one weight matrix of a network to its crossbar.
+type MappedLayer struct {
+	Name     string
+	Kind     nn.LayerKind
+	Crossbar *Crossbar
+	// Param is the live network parameter; Refresh overwrites its
+	// weights with the crossbar's effective values so inference runs
+	// through the simulated hardware.
+	Param *nn.Param
+	// Target holds the software-trained weights, the source of every
+	// (re)mapping.
+	Target *tensor.Tensor
+}
+
+// MappedNetwork is a neural network deployed onto memristor crossbars:
+// one crossbar per conv/FC weight matrix, with biases kept in digital
+// periphery (the trained bias values remain in the host network).
+type MappedNetwork struct {
+	Net    *nn.Network
+	Layers []*MappedLayer
+}
+
+// NewMappedNetwork builds a crossbar for every weight layer of the
+// trained network. The network's current weights become the mapping
+// targets.
+func NewMappedNetwork(net *nn.Network, p device.Params, m aging.Model, tempK float64) (*MappedNetwork, error) {
+	mn := &MappedNetwork{Net: net}
+	for _, wl := range net.WeightLayers() {
+		rows, cols := wl.Param.W.Dim(0), wl.Param.W.Dim(1)
+		cb, err := New(rows, cols, p, m, tempK)
+		if err != nil {
+			return nil, fmt.Errorf("crossbar: layer %s: %w", wl.Param.Name, err)
+		}
+		mn.Layers = append(mn.Layers, &MappedLayer{
+			Name:     wl.Param.Name,
+			Kind:     wl.Kind,
+			Crossbar: cb,
+			Param:    wl.Param,
+			Target:   wl.Param.W.Clone(),
+		})
+	}
+	return mn, nil
+}
+
+// SetTargets replaces the mapping targets with the current weights of
+// the host network (e.g. after retraining in software).
+func (m *MappedNetwork) SetTargets() {
+	for _, l := range m.Layers {
+		l.Target = l.Param.W.Clone()
+	}
+}
+
+// RestoreSoftwareWeights writes the trained target weights back into the
+// host network, undoing any Refresh. Useful for comparing software and
+// hardware accuracy on the same network object.
+func (m *MappedNetwork) RestoreSoftwareWeights() {
+	for _, l := range m.Layers {
+		l.Param.W.CopyFrom(l.Target)
+	}
+}
+
+// MapLayer programs layer i's targets with the common range [rLo, rHi].
+func (m *MappedNetwork) MapLayer(i int, rLo, rHi float64) MapStats {
+	l := m.Layers[i]
+	return l.Crossbar.MapWeights(l.Target, rLo, rHi)
+}
+
+// MapStatsTotal aggregates per-layer mapping stats.
+type MapStatsTotal struct {
+	Pulses  int
+	Stress  float64
+	Clipped int
+}
+
+// MapAllFresh maps every layer using the fresh device range — the
+// baseline mapping that ignores aging (the T+T / ST+T scenarios).
+func (m *MappedNetwork) MapAllFresh() MapStatsTotal {
+	var total MapStatsTotal
+	for i, l := range m.Layers {
+		p := l.Crossbar.Params()
+		s := m.MapLayer(i, p.RminFresh, p.RmaxFresh)
+		total.Pulses += s.Pulses
+		total.Stress += s.Stress
+		total.Clipped += s.Clipped
+	}
+	return total
+}
+
+// Refresh loads every crossbar's effective weights into the host
+// network, so subsequent Forward calls simulate hardware inference.
+func (m *MappedNetwork) Refresh() {
+	for _, l := range m.Layers {
+		l.Param.W.CopyFrom(l.Crossbar.EffectiveWeights())
+	}
+}
+
+// Accuracy refreshes the effective weights and classifies the batch.
+func (m *MappedNetwork) Accuracy(x *tensor.Tensor, y []int) float64 {
+	m.Refresh()
+	return m.Net.Accuracy(x, y)
+}
+
+// RandomizeAging assigns lognormal endurance-variability factors to
+// every device of every crossbar.
+func (m *MappedNetwork) RandomizeAging(sigma float64, rng *tensor.RNG) {
+	for _, l := range m.Layers {
+		l.Crossbar.RandomizeAging(sigma, rng)
+	}
+}
+
+// AddStress injects burn-in stress into every device of every crossbar.
+func (m *MappedNetwork) AddStress(s float64) {
+	for _, l := range m.Layers {
+		l.Crossbar.AddStress(s)
+	}
+}
+
+// SetTraceStride changes the tracing density on every crossbar.
+func (m *MappedNetwork) SetTraceStride(stride int) {
+	for _, l := range m.Layers {
+		l.Crossbar.SetTraceStride(stride)
+	}
+}
+
+// Drift perturbs every device of every crossbar (read-disturb drift).
+func (m *MappedNetwork) Drift(sigma float64, rng *tensor.RNG) {
+	for _, l := range m.Layers {
+		l.Crossbar.Drift(sigma, rng)
+	}
+}
+
+// TotalPulses sums programming pulses across all crossbars.
+func (m *MappedNetwork) TotalPulses() int64 {
+	var n int64
+	for _, l := range m.Layers {
+		n += l.Crossbar.TotalPulses()
+	}
+	return n
+}
+
+// TotalStress sums accumulated stress across all crossbars.
+func (m *MappedNetwork) TotalStress() float64 {
+	s := 0.0
+	for _, l := range m.Layers {
+		s += l.Crossbar.TotalStress()
+	}
+	return s
+}
+
+// MeanUpperBoundByKind averages the aged upper resistance bound over all
+// devices of conv layers and FC layers separately — the two curves of
+// Fig. 11.
+func (m *MappedNetwork) MeanUpperBoundByKind() (conv, fc float64) {
+	convSum, convN, fcSum, fcN := 0.0, 0, 0.0, 0
+	for _, l := range m.Layers {
+		mean := l.Crossbar.MeanAgedUpperBound()
+		n := l.Crossbar.Rows * l.Crossbar.Cols
+		if l.Kind == nn.LayerConv {
+			convSum += mean * float64(n)
+			convN += n
+		} else {
+			fcSum += mean * float64(n)
+			fcN += n
+		}
+	}
+	if convN > 0 {
+		conv = convSum / float64(convN)
+	}
+	if fcN > 0 {
+		fc = fcSum / float64(fcN)
+	}
+	return conv, fc
+}

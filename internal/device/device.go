@@ -1,0 +1,373 @@
+// Package device models a single programmable memristor as used in the
+// paper's crossbars: a resistance programmable within a device range,
+// quantized to a fixed number of levels that are uniform in resistance
+// (Section II-B; 32 levels per [14], 64 per [15]), and a programming
+// pulse model whose accumulated electrical stress drives the aging
+// functions of eq. (6)/(7).
+//
+// The central physical coupling the paper exploits is represented
+// explicitly: the stress contributed by a programming pulse is
+// proportional to the power dissipated in the device (V_prog^2 * g), so
+// devices programmed to small conductances — large resistances, the
+// skewed-weight regime — age more slowly.
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params describes one memristor technology.
+type Params struct {
+	// RminFresh and RmaxFresh bound the programmable resistance range
+	// of a fresh device, in Ohms (RminFresh = LRS, RmaxFresh = HRS).
+	RminFresh float64
+	RmaxFresh float64
+	// Levels is the number of quantization levels, spread uniformly
+	// across the fresh resistance range.
+	Levels int
+	// Vprog is the programming pulse amplitude in Volts.
+	Vprog float64
+	// PulseWidth is the programming pulse duration in seconds.
+	PulseWidth float64
+	// Vread is the read voltage used during inference, in Volts.
+	Vread float64
+	// UniformStress, when set, makes every programming pulse cost one
+	// reference unit of stress regardless of the device's conductance.
+	// This is an ablation switch: it removes the physical coupling
+	// (stress ~ programming power) that lets skewed weights slow down
+	// aging, isolating that mechanism's contribution.
+	UniformStress bool
+	// StressDerate scales every pulse's stress contribution; counter-
+	// aging techniques that reduce the effective programming power
+	// (shaped pulses [9], series resistors [11]) express their benefit
+	// here. Zero means 1 (no derating).
+	StressDerate float64
+}
+
+// stressDerate returns the effective derating factor.
+func (p Params) stressDerate() float64 {
+	if p.StressDerate == 0 {
+		return 1
+	}
+	return p.StressDerate
+}
+
+// Validate reports an error for physically meaningless parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.RminFresh <= 0 || p.RmaxFresh <= p.RminFresh:
+		return fmt.Errorf("device: need 0 < RminFresh < RmaxFresh, got %g/%g", p.RminFresh, p.RmaxFresh)
+	case p.Levels < 2:
+		return fmt.Errorf("device: need at least 2 levels, got %d", p.Levels)
+	case p.Vprog <= 0 || p.PulseWidth <= 0:
+		return fmt.Errorf("device: programming pulse must have positive amplitude and width, got %gV/%gs", p.Vprog, p.PulseWidth)
+	case p.Vread <= 0 || p.Vread >= p.Vprog:
+		return fmt.Errorf("device: read voltage must be in (0, Vprog), got %g", p.Vread)
+	case p.StressDerate < 0:
+		return fmt.Errorf("device: stress derating must be non-negative, got %g", p.StressDerate)
+	}
+	return nil
+}
+
+// Params32 returns a 32-level TiOx-style device (after [14]): a 10 kOhm
+// to 100 kOhm range with 2 V / 100 ns programming pulses.
+func Params32() Params {
+	return Params{RminFresh: 10e3, RmaxFresh: 100e3, Levels: 32, Vprog: 2.0, PulseWidth: 100e-9, Vread: 0.3}
+}
+
+// Params64 returns a 64-level device (after [15]) on the same range.
+func Params64() Params {
+	p := Params32()
+	p.Levels = 64
+	return p
+}
+
+// GminFresh returns the smallest fresh conductance (at RmaxFresh).
+func (p Params) GminFresh() float64 { return 1 / p.RmaxFresh }
+
+// GmaxFresh returns the largest fresh conductance (at RminFresh).
+func (p Params) GmaxFresh() float64 { return 1 / p.RminFresh }
+
+// LevelSpacing returns the resistance distance between adjacent levels.
+func (p Params) LevelSpacing() float64 {
+	return (p.RmaxFresh - p.RminFresh) / float64(p.Levels-1)
+}
+
+// LevelResistance returns the resistance of level i on the fresh grid.
+// Level 0 is RminFresh; level Levels-1 is RmaxFresh.
+func (p Params) LevelResistance(i int) float64 {
+	if i < 0 || i >= p.Levels {
+		panic(fmt.Sprintf("device: level %d out of range [0,%d)", i, p.Levels))
+	}
+	return p.RminFresh + float64(i)*p.LevelSpacing()
+}
+
+// LevelConductance returns the conductance of level i. Because levels
+// are uniform in resistance, conductances cluster near GminFresh — the
+// non-uniform grid of Fig. 3(c) that skewed weights exploit.
+func (p Params) LevelConductance(i int) float64 { return 1 / p.LevelResistance(i) }
+
+// NearestLevel returns the level index whose resistance is closest to r,
+// clamped to the grid.
+func (p Params) NearestLevel(r float64) int {
+	i := int(math.Round((r - p.RminFresh) / p.LevelSpacing()))
+	if i < 0 {
+		i = 0
+	}
+	if i >= p.Levels {
+		i = p.Levels - 1
+	}
+	return i
+}
+
+// NearestLevelIn returns the level index closest to r among levels whose
+// resistance lies within [lo, hi]. When no level falls inside the
+// window it returns the level nearest to the window. This implements
+// the clipping of Fig. 4: a target of Level 7 on a device aged down to
+// three usable levels lands on Level 2.
+func (p Params) NearestLevelIn(r, lo, hi float64) int {
+	loLvl := int(math.Ceil((lo - p.RminFresh) / p.LevelSpacing()))
+	hiLvl := int(math.Floor((hi - p.RminFresh) / p.LevelSpacing()))
+	if loLvl < 0 {
+		loLvl = 0
+	}
+	if hiLvl >= p.Levels {
+		hiLvl = p.Levels - 1
+	}
+	if loLvl > hiLvl {
+		// No level inside the aged window; use the nearest grid point
+		// to the window midpoint.
+		return p.NearestLevel((lo + hi) / 2)
+	}
+	i := p.NearestLevel(r)
+	if i < loLvl {
+		return loLvl
+	}
+	if i > hiLvl {
+		return hiLvl
+	}
+	return i
+}
+
+// UsableLevels counts the levels of the fresh grid that remain inside
+// the aged range [lo, hi] (Fig. 4's level-count decay).
+func (p Params) UsableLevels(lo, hi float64) int {
+	loLvl := int(math.Ceil((lo - p.RminFresh) / p.LevelSpacing()))
+	hiLvl := int(math.Floor((hi - p.RminFresh) / p.LevelSpacing()))
+	if loLvl < 0 {
+		loLvl = 0
+	}
+	if hiLvl >= p.Levels {
+		hiLvl = p.Levels - 1
+	}
+	if loLvl > hiLvl {
+		return 0
+	}
+	return hiLvl - loLvl + 1
+}
+
+// TunePulseDeltaG returns the conductance change of one online-tuning
+// pulse. Tuning pulses are small constant-amplitude nudges (eq. (5))
+// that move the analog conductance by a fraction of a level, unlike the
+// mapping pulses that hop whole quantization levels.
+func (p Params) TunePulseDeltaG() float64 {
+	return (p.GmaxFresh() - p.GminFresh()) / float64(4*p.Levels)
+}
+
+// refPulseEnergy returns the energy of one programming pulse through a
+// device at maximum fresh conductance. Stress is accounted in units of
+// this reference energy so aging-model constants are dimensionless and
+// technology-portable.
+func (p Params) refPulseEnergy() float64 {
+	return p.Vprog * p.Vprog * p.GmaxFresh() * p.PulseWidth
+}
+
+// PulseStress returns the normalized stress contributed by one
+// programming pulse applied while the device sits at resistance r:
+// (Vprog^2 / r * width) / refPulseEnergy = RminFresh / r. A pulse into
+// a fully-resistive (skewed-regime) device costs RminFresh/RmaxFresh of
+// a full-current pulse — the aging advantage of Section IV-A.
+func (p Params) PulseStress(r float64) float64 {
+	if r <= 0 {
+		panic(fmt.Sprintf("device: non-positive resistance %g", r))
+	}
+	if p.UniformStress {
+		// Conductance-independent ablation: every pulse costs the
+		// stress of a pulse through the geometric-mean resistance, so
+		// the total budget is comparable to the physical model while
+		// the skewed-weight advantage is removed.
+		return math.Sqrt(p.RminFresh/p.RmaxFresh) * p.stressDerate()
+	}
+	return (p.Vprog * p.Vprog / r * p.PulseWidth) / p.refPulseEnergy() * p.stressDerate()
+}
+
+// Device is one memristor instance: its current programmed resistance
+// plus its irreversible programming history.
+type Device struct {
+	p Params
+	// r is the current resistance in Ohms.
+	r float64
+	// stress is the accumulated normalized programming stress that
+	// drives eq. (6)/(7). It never decreases.
+	stress float64
+	// agingFactor scales this device's stress accumulation, modelling
+	// device-to-device endurance variability (process variation).
+	// 1.0 is nominal.
+	agingFactor float64
+	// pulses counts programming pulses over the device lifetime.
+	pulses int64
+}
+
+// New returns a fresh device initialized to its highest resistance
+// (lowest conductance) state.
+func New(p Params) *Device {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Device{p: p, r: p.RmaxFresh, agingFactor: 1}
+}
+
+// AgingFactor returns the device's endurance-variability factor.
+func (d *Device) AgingFactor() float64 { return d.agingFactor }
+
+// SetAgingFactor sets the device's endurance-variability factor: every
+// pulse's stress is multiplied by f. Weak devices have f > 1.
+func (d *Device) SetAgingFactor(f float64) {
+	if f <= 0 {
+		panic(fmt.Sprintf("device: aging factor must be positive, got %g", f))
+	}
+	d.agingFactor = f
+}
+
+// Params returns the device technology parameters.
+func (d *Device) Params() Params { return d.p }
+
+// Resistance returns the current programmed resistance in Ohms.
+func (d *Device) Resistance() float64 { return d.r }
+
+// Conductance returns the current conductance in Siemens.
+func (d *Device) Conductance() float64 { return 1 / d.r }
+
+// Stress returns the accumulated normalized programming stress.
+func (d *Device) Stress() float64 { return d.stress }
+
+// Pulses returns the lifetime programming pulse count.
+func (d *Device) Pulses() int64 { return d.pulses }
+
+// Drift perturbs the resistance without programming (the recoverable
+// read-disturb drift of [8], distinct from aging). The resistance stays
+// within [lo, hi].
+func (d *Device) Drift(delta, lo, hi float64) {
+	d.r += delta
+	if d.r < lo {
+		d.r = lo
+	}
+	if d.r > hi {
+		d.r = hi
+	}
+}
+
+// AddStress injects raw programming stress without changing the
+// device's state, scaled by the device's aging factor. It models prior
+// life (burn-in) for experiments that must start from a pre-aged array.
+func (d *Device) AddStress(s float64) {
+	if s < 0 {
+		panic(fmt.Sprintf("device: negative stress injection %g", s))
+	}
+	d.stress += s * d.agingFactor
+}
+
+// Pulse applies one online-tuning pulse: the conductance moves by
+// dir * TunePulseDeltaG, with the resistance clamped to the valid
+// window [lo, hi]. The pulse costs stress whether or not the device
+// could move (a pinned device still dissipates the programming power).
+// It returns the stress added.
+func (d *Device) Pulse(dir int, lo, hi float64) float64 {
+	if dir == 0 {
+		return 0
+	}
+	s := d.p.PulseStress(d.r) * d.agingFactor
+	d.stress += s
+	d.pulses++
+	g := 1/d.r + float64(sign(dir))*d.p.TunePulseDeltaG()
+	if g < 1/hi {
+		g = 1 / hi
+	}
+	if g > 1/lo {
+		g = 1 / lo
+	}
+	d.r = 1 / g
+	return s
+}
+
+func sign(v int) int {
+	if v > 0 {
+		return 1
+	}
+	return -1
+}
+
+// ProgramResult reports what one Program call did.
+type ProgramResult struct {
+	// Achieved is the resistance actually programmed.
+	Achieved float64
+	// Pulses is the number of programming pulses applied.
+	Pulses int
+	// Stress is the normalized stress added by those pulses.
+	Stress float64
+	// Clipped reports whether the target fell outside [lo, hi].
+	Clipped bool
+}
+
+// Program steps the device towards target resistance, constrained to
+// the valid window [lo, hi] (the caller supplies the device's current
+// aged bounds). The device walks the fresh level grid one pulse per
+// level; each pulse adds stress proportional to the instantaneous
+// programming power. Programming to the already-held level is free.
+func (d *Device) Program(target, lo, hi float64) ProgramResult {
+	if lo > hi {
+		panic(fmt.Sprintf("device: program window inverted [%g, %g]", lo, hi))
+	}
+	res := ProgramResult{}
+	goal := target
+	if goal < lo {
+		goal, res.Clipped = lo, true
+	} else if goal > hi {
+		goal, res.Clipped = hi, true
+	}
+	goalLvl := d.p.NearestLevelIn(goal, lo, hi)
+	goalR := d.p.LevelResistance(goalLvl)
+
+	curLvl := d.p.NearestLevel(d.r)
+	// Off-grid (drifted) resistance needs at least one corrective pulse
+	// even when the nearest level equals the goal level.
+	needsCorrection := math.Abs(d.r-goalR) > d.p.LevelSpacing()*0.01
+
+	step := 1
+	if goalLvl < curLvl {
+		step = -1
+	}
+	for lvl := curLvl; lvl != goalLvl; lvl += step {
+		// Pulse applied while the device sits at the current state.
+		s := d.p.PulseStress(d.r) * d.agingFactor
+		d.stress += s
+		res.Stress += s
+		res.Pulses++
+		d.pulses++
+		d.r = d.p.LevelResistance(lvl + step)
+	}
+	if res.Pulses == 0 && needsCorrection {
+		s := d.p.PulseStress(d.r) * d.agingFactor
+		d.stress += s
+		res.Stress += s
+		res.Pulses = 1
+		d.pulses++
+		d.r = goalR
+	}
+	if res.Pulses > 0 {
+		d.r = goalR
+	}
+	res.Achieved = d.r
+	return res
+}

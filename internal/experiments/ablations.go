@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"memlife/internal/analysis"
+	"memlife/internal/device"
+	"memlife/internal/lifetime"
+	"memlife/internal/mapping"
+	"memlife/internal/nn"
+)
+
+// AblationRow is one configuration of an ablation sweep.
+type AblationRow struct {
+	Variant  string
+	Scenario string
+	Lifetime int64
+	Censored bool
+}
+
+// runLifetime executes one lifetime run for an ablation, leaving the
+// network weights untouched.
+func runLifetime(net *nn.Network, b *Bundle, sc lifetime.Scenario, p device.Params, cfg lifetime.Config) (lifetime.Result, error) {
+	snap := net.SnapshotParams()
+	defer net.RestoreParams(snap)
+	return lifetime.Run(net, b.TrainDS, sc, p, AgingModel(), TempK, cfg)
+}
+
+// AblationStressModel compares the power-proportional stress model (the
+// mechanism that lets skewed weights slow aging) against uniform
+// per-pulse stress. Under uniform stress the ST+T advantage over T+T
+// should shrink to the quantization benefit alone.
+func AblationStressModel(opt Options) ([]AblationRow, error) {
+	b, err := LeNetBundle(opt)
+	if err != nil {
+		return nil, err
+	}
+	target, err := scenarioTarget(b, opt)
+	if err != nil {
+		return nil, err
+	}
+	cfg := lifetimeConfig(opt, target)
+
+	var rows []AblationRow
+	for _, variant := range []struct {
+		name    string
+		uniform bool
+	}{
+		{"power-proportional stress", false},
+		{"uniform per-pulse stress", true},
+	} {
+		p := DeviceParams()
+		p.UniformStress = variant.uniform
+		for _, spec := range []struct {
+			sc  lifetime.Scenario
+			net *nn.Network
+		}{{lifetime.TT, b.Normal}, {lifetime.STT, b.Skewed}} {
+			res, err := runLifetime(spec.net, b, spec.sc, p, cfg)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationRow{
+				Variant: variant.name, Scenario: spec.sc.String(),
+				Lifetime: res.Lifetime, Censored: !res.Failed,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// AblationTracingDensity sweeps the representative-tracing stride of
+// Section IV-B: 1 (trace everything), 3 (the paper's 1-of-9), 5
+// (1-of-25). The arrays start from a burn-in (pre-aged) state so the
+// initial aging-aware mapping actually depends on the traced estimates;
+// sparser tracing estimates the common range from fewer devices.
+func AblationTracingDensity(opt Options) ([]AblationRow, error) {
+	b, err := LeNetBundle(opt)
+	if err != nil {
+		return nil, err
+	}
+	target, err := scenarioTarget(b, opt)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, stride := range []int{1, 3, 5} {
+		cfg := lifetimeConfig(opt, target)
+		cfg.TraceStride = stride
+		cfg.BurnInStress = 3
+		res, err := runLifetime(b.Skewed, b, lifetime.STAT, DeviceParams(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Variant: fmt.Sprintf("trace 1-of-%d (stride %d)", stride*stride, stride), Scenario: "ST+AT",
+			Lifetime: res.Lifetime, Censored: !res.Failed,
+		})
+	}
+	return rows, nil
+}
+
+// AblationLevels compares the 32-level device of [14] against the
+// 64-level device of [15]. More levels quantize more accurately but
+// each level step is smaller, so aged ranges lose levels faster.
+func AblationLevels(opt Options) ([]AblationRow, error) {
+	b, err := LeNetBundle(opt)
+	if err != nil {
+		return nil, err
+	}
+	target, err := scenarioTarget(b, opt)
+	if err != nil {
+		return nil, err
+	}
+	cfg := lifetimeConfig(opt, target)
+	var rows []AblationRow
+	for _, variant := range []struct {
+		name string
+		p    device.Params
+	}{
+		{"32 levels [14]", device.Params32()},
+		{"64 levels [15]", device.Params64()},
+	} {
+		res, err := runLifetime(b.Skewed, b, lifetime.STAT, variant.p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Variant: variant.name, Scenario: "ST+AT",
+			Lifetime: res.Lifetime, Censored: !res.Failed,
+		})
+	}
+	return rows, nil
+}
+
+// AblationRangePolicy compares the iterative accuracy-driven selection
+// of Section IV-B against the simpler worst-case, mean-bound and fresh
+// policies, all under skewed weights. The arrays start from a burn-in
+// (pre-aged) state: on a fresh array every policy selects the same
+// (fresh) range and the comparison would be vacuous.
+func AblationRangePolicy(opt Options) ([]AblationRow, error) {
+	b, err := LeNetBundle(opt)
+	if err != nil {
+		return nil, err
+	}
+	target, err := scenarioTarget(b, opt)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, pol := range []mapping.PolicyKind{mapping.AgingAware, mapping.WorstCase, mapping.MeanBound, mapping.Fresh} {
+		cfg := lifetimeConfig(opt, target)
+		p := pol
+		cfg.PolicyOverride = &p
+		cfg.BurnInStress = 3
+		res, err := runLifetime(b.Skewed, b, lifetime.STAT, DeviceParams(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Variant: pol.String(), Scenario: "ST+<policy>",
+			Lifetime: res.Lifetime, Censored: !res.Failed,
+		})
+	}
+	return rows, nil
+}
+
+func renderAblation(w io.Writer, title string, rows []AblationRow) {
+	var cells [][]string
+	for _, r := range rows {
+		life := fmt.Sprintf("%d", r.Lifetime)
+		if r.Censored {
+			life = ">=" + life
+		}
+		cells = append(cells, []string{r.Variant, r.Scenario, life})
+	}
+	fmt.Fprintln(w, title)
+	fmt.Fprint(w, analysis.Table([]string{"variant", "scenario", "lifetime (apps)"}, cells))
+}
+
+func init() {
+	register(Experiment{
+		ID:    "ablation-stress",
+		Title: "Ablation: power-proportional vs uniform per-pulse aging stress",
+		Run: func(w io.Writer, opt Options) error {
+			rows, err := AblationStressModel(opt)
+			if err != nil {
+				return err
+			}
+			renderAblation(w, "Ablation — stress model", rows)
+			return nil
+		},
+	})
+	register(Experiment{
+		ID:    "ablation-tracing",
+		Title: "Ablation: representative-tracing density (1-of-1/9/25)",
+		Run: func(w io.Writer, opt Options) error {
+			rows, err := AblationTracingDensity(opt)
+			if err != nil {
+				return err
+			}
+			renderAblation(w, "Ablation — tracing density", rows)
+			return nil
+		},
+	})
+	register(Experiment{
+		ID:    "ablation-levels",
+		Title: "Ablation: 32-level vs 64-level devices",
+		Run: func(w io.Writer, opt Options) error {
+			rows, err := AblationLevels(opt)
+			if err != nil {
+				return err
+			}
+			renderAblation(w, "Ablation — quantization levels", rows)
+			return nil
+		},
+	})
+	register(Experiment{
+		ID:    "ablation-policy",
+		Title: "Ablation: aged-range selection policy",
+		Run: func(w io.Writer, opt Options) error {
+			rows, err := AblationRangePolicy(opt)
+			if err != nil {
+				return err
+			}
+			renderAblation(w, "Ablation — range-selection policy", rows)
+			return nil
+		},
+	})
+}

@@ -1,0 +1,59 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Section V), plus ablation studies of the design
+// choices called out in DESIGN.md. Each driver regenerates the rows or
+// series the paper reports, printed as plain text; EXPERIMENTS.md
+// records paper-vs-measured for each.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Options controls experiment scale.
+type Options struct {
+	// Fast shrinks networks, datasets and budgets so an experiment
+	// finishes in seconds (used by tests and benches). Full mode
+	// reproduces the reported numbers.
+	Fast bool
+	// Seed makes runs reproducible.
+	Seed int64
+	// Log receives training/simulation progress; nil silences it.
+	Log io.Writer
+}
+
+// DefaultOptions returns full-scale options with seed 1.
+func DefaultOptions() Options { return Options{Seed: 1} }
+
+// Experiment is one runnable reproduction target.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer, opt Options) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %q", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// All returns every registered experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}

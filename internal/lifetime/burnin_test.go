@@ -1,0 +1,101 @@
+package lifetime
+
+import (
+	"testing"
+
+	"memlife/internal/device"
+	"memlife/internal/mapping"
+)
+
+// TestBurnInShortensLifetime checks that injected prior-life stress
+// reduces the measured lifetime, all else equal.
+func TestBurnInShortensLifetime(t *testing.T) {
+	net, trainDS := fixture(t, false)
+	target, err := SuggestTarget(net, trainDS, device.Params32(), fastAging(), 300, 64, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := net.SnapshotParams()
+
+	fresh, err := Run(net, trainDS, TT, device.Params32(), fastAging(), 300, testConfig(target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RestoreParams(snap)
+
+	cfg := testConfig(target)
+	cfg.BurnInStress = 5
+	burned, err := Run(net, trainDS, TT, device.Params32(), fastAging(), 300, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RestoreParams(snap)
+
+	if burned.Lifetime > fresh.Lifetime {
+		t.Fatalf("burn-in must not extend lifetime: %d vs %d", burned.Lifetime, fresh.Lifetime)
+	}
+}
+
+func TestBurnInValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BurnInStress = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative burn-in must be rejected")
+	}
+}
+
+// TestPolicyOverridePlumbing verifies the override reaches the mapping
+// layer: under a burn-in heavy enough to matter, the Fresh override on
+// an STAT run must select full-range mappings (no aging-aware
+// candidates recorded anywhere — observable via identical behaviour to
+// an STT run with the same seed).
+func TestPolicyOverridePlumbing(t *testing.T) {
+	net, trainDS := fixture(t, false)
+	target, err := SuggestTarget(net, trainDS, device.Params32(), fastAging(), 300, 64, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := net.SnapshotParams()
+
+	cfg := testConfig(target)
+	cfg.BurnInStress = 2
+	fresh := mapping.Fresh
+	cfg.PolicyOverride = &fresh
+	overridden, err := Run(net, trainDS, STAT, device.Params32(), fastAging(), 300, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RestoreParams(snap)
+
+	cfg2 := testConfig(target)
+	cfg2.BurnInStress = 2
+	stt, err := Run(net, trainDS, STT, device.Params32(), fastAging(), 300, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RestoreParams(snap)
+
+	if overridden.Lifetime != stt.Lifetime {
+		t.Fatalf("STAT overridden to fresh must behave like ST+T: %d vs %d", overridden.Lifetime, stt.Lifetime)
+	}
+}
+
+// TestTraceStridePlumbing verifies the stride override is honoured (a
+// smoke check that stride-1 runs complete and produce records).
+func TestTraceStridePlumbing(t *testing.T) {
+	net, trainDS := fixture(t, true)
+	target, err := SuggestTarget(net, trainDS, device.Params32(), fastAging(), 300, 64, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(target)
+	cfg.TraceStride = 1
+	cfg.MaxCycles = 5
+	res, err := Run(net, trainDS, STAT, device.Params32(), fastAging(), 300, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) == 0 {
+		t.Fatal("stride-1 run must record cycles")
+	}
+}

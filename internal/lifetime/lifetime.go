@@ -1,0 +1,326 @@
+// Package lifetime simulates the full deployment life of a
+// memristor-mapped network and measures how many applications it can
+// process before online tuning stops converging — the paper's lifetime
+// metric (Section V).
+//
+// The simulation follows the paper's work flow (Fig. 5): the trained
+// weights are mapped once at deployment; the crossbar then serves
+// blocks of applications, accumulating recoverable read-disturb drift
+// that per-application online tuning repairs. Tuning pulses age the
+// devices irreversibly, so the iteration count per cycle creeps up as
+// levels disappear. When tuning alone can no longer reach the target,
+// the trained weights are re-mapped under the scenario's policy — the
+// event where aging-aware range selection acts — and tuning retries.
+// When even that fails within the iteration cap (paper: 150), the
+// crossbar is dead and the lifetime is the number of applications
+// served up to that point.
+//
+// The three scenarios of Table I differ in two inputs:
+//
+//	T+T   — conventionally trained weights, fresh-range mapping
+//	ST+T  — skewed-trained weights,          fresh-range mapping
+//	ST+AT — skewed-trained weights,          aging-aware mapping
+//
+// The trained network supplies the first axis (the caller passes a
+// conventionally or skewed-trained network); Scenario selects the
+// mapping policy for the second.
+package lifetime
+
+import (
+	"fmt"
+
+	"memlife/internal/aging"
+	"memlife/internal/crossbar"
+	"memlife/internal/dataset"
+	"memlife/internal/device"
+	"memlife/internal/mapping"
+	"memlife/internal/nn"
+	"memlife/internal/tensor"
+	"memlife/internal/tuning"
+)
+
+// Scenario names the three evaluated configurations of Table I.
+type Scenario int
+
+const (
+	// TT is traditional weight training plus online tuning.
+	TT Scenario = iota
+	// STT is skewed weight training plus online tuning.
+	STT
+	// STAT is skewed weight training with aging-aware mapping plus
+	// online tuning.
+	STAT
+)
+
+// String implements fmt.Stringer with the paper's labels.
+func (s Scenario) String() string {
+	switch s {
+	case TT:
+		return "T+T"
+	case STT:
+		return "ST+T"
+	case STAT:
+		return "ST+AT"
+	default:
+		return fmt.Sprintf("scenario(%d)", int(s))
+	}
+}
+
+// MappingPolicy returns the hardware-mapping policy the scenario uses.
+func (s Scenario) MappingPolicy() mapping.PolicyKind {
+	if s == STAT {
+		return mapping.AgingAware
+	}
+	return mapping.Fresh
+}
+
+// Config parameterizes a lifetime simulation.
+type Config struct {
+	// AppsPerCycle is the number of applications served per deployment
+	// cycle (the granularity of the Fig. 10 x-axis).
+	AppsPerCycle int64
+	// MaxCycles bounds the simulation.
+	MaxCycles int
+	// TuneCap is the online-tuning iteration budget per cycle; the
+	// paper uses 150.
+	TuneCap int
+	// TargetAcc is the accuracy online tuning must restore each cycle.
+	TargetAcc float64
+	// DriftSigma is the read-disturb drift per cycle, relative to each
+	// device's resistance (0.05 = 5%).
+	DriftSigma float64
+	// TuneBatch is the tuning minibatch size.
+	TuneBatch int
+	// StepFrac is the tuning step fraction (see tuning.Config).
+	StepFrac float64
+	// EvalN is the number of training samples used to judge accuracy
+	// and score aging-aware range candidates.
+	EvalN int
+	// Seed drives drift and batch shuffling.
+	Seed int64
+	// TraceStride overrides the representative-tracing density (the
+	// paper's 1-of-9 corresponds to 3). Zero keeps the default.
+	TraceStride int
+	// AgingVariability is the sigma of the lognormal device-to-device
+	// endurance variation. Zero means identical devices.
+	AgingVariability float64
+	// BurnInStress injects this much prior-life stress into every
+	// device before the simulation starts, so runs can begin from a
+	// pre-aged array (where mapping-policy differences are visible).
+	// Zero starts from a fresh array.
+	BurnInStress float64
+	// RemapIterFrac triggers a re-mapping when a cycle's tuning took at
+	// least this fraction of TuneCap: tuning has become expensive, so
+	// the controller re-deploys the trained weights under the
+	// scenario's mapping policy. Zero means 0.5.
+	RemapIterFrac float64
+	// PolicyOverride, when non-nil, replaces the scenario's mapping
+	// policy — used by the range-policy ablation.
+	PolicyOverride *mapping.PolicyKind
+}
+
+// Validate reports an error for degenerate configs.
+func (c Config) Validate() error {
+	switch {
+	case c.AppsPerCycle < 1:
+		return fmt.Errorf("lifetime: AppsPerCycle must be >= 1, got %d", c.AppsPerCycle)
+	case c.MaxCycles < 1:
+		return fmt.Errorf("lifetime: MaxCycles must be >= 1, got %d", c.MaxCycles)
+	case c.TuneCap < 1:
+		return fmt.Errorf("lifetime: TuneCap must be >= 1, got %d", c.TuneCap)
+	case c.TargetAcc <= 0 || c.TargetAcc > 1:
+		return fmt.Errorf("lifetime: TargetAcc must be in (0,1], got %g", c.TargetAcc)
+	case c.DriftSigma < 0:
+		return fmt.Errorf("lifetime: DriftSigma must be non-negative, got %g", c.DriftSigma)
+	case c.TuneBatch < 1:
+		return fmt.Errorf("lifetime: TuneBatch must be >= 1, got %d", c.TuneBatch)
+	case c.EvalN < 1:
+		return fmt.Errorf("lifetime: EvalN must be >= 1, got %d", c.EvalN)
+	case c.TraceStride < 0:
+		return fmt.Errorf("lifetime: TraceStride must be non-negative, got %d", c.TraceStride)
+	case c.AgingVariability < 0:
+		return fmt.Errorf("lifetime: AgingVariability must be non-negative, got %g", c.AgingVariability)
+	case c.RemapIterFrac < 0 || c.RemapIterFrac > 1:
+		return fmt.Errorf("lifetime: RemapIterFrac must be in [0,1], got %g", c.RemapIterFrac)
+	case c.BurnInStress < 0:
+		return fmt.Errorf("lifetime: BurnInStress must be non-negative, got %g", c.BurnInStress)
+	}
+	return nil
+}
+
+// DefaultConfig returns the configuration used by the Table I / Fig. 10
+// experiments.
+func DefaultConfig() Config {
+	return Config{
+		AppsPerCycle:     1_000_000,
+		MaxCycles:        200,
+		TuneCap:          150,
+		TargetAcc:        0.75,
+		DriftSigma:       0.05,
+		TuneBatch:        32,
+		StepFrac:         0.25,
+		EvalN:            96,
+		Seed:             1,
+		AgingVariability: 0.2,
+		RemapIterFrac:    0.12,
+	}
+}
+
+// CycleRecord captures the state after one deployment cycle.
+type CycleRecord struct {
+	Cycle     int
+	Apps      int64 // cumulative applications served after this cycle
+	TuneIters int
+	Converged bool
+	Acc       float64
+	// Remapped reports whether this cycle needed a rescue remapping
+	// (tuning alone could not reach the target).
+	Remapped bool
+	// MapClipped counts devices whose mapping target was out of reach
+	// during this cycle's remapping (0 when no remap happened).
+	MapClipped int
+	// ConvUpper and FCUpper are the mean aged upper resistance bounds
+	// by layer kind (Fig. 11).
+	ConvUpper, FCUpper float64
+}
+
+// Result is the outcome of one scenario run.
+type Result struct {
+	Scenario Scenario
+	Records  []CycleRecord
+	// Lifetime is the number of applications served before failure
+	// (or before the simulation was cut off at MaxCycles).
+	Lifetime int64
+	// Failed reports whether the array actually failed; false means
+	// the lifetime value is right-censored at MaxCycles.
+	Failed bool
+}
+
+// Run simulates the deployment life of net under the scenario. The
+// network's current weights are the mapping targets; trainDS supplies
+// tuning batches and the evaluation subset.
+func Run(net *nn.Network, trainDS *dataset.Dataset, sc Scenario, p device.Params, model aging.Model, tempK float64, cfg Config) (Result, error) {
+	res := Result{Scenario: sc}
+	if err := cfg.Validate(); err != nil {
+		return res, err
+	}
+	mn, err := crossbar.NewMappedNetwork(net, p, model, tempK)
+	if err != nil {
+		return res, err
+	}
+	if cfg.TraceStride > 0 {
+		mn.SetTraceStride(cfg.TraceStride)
+	}
+	evalDS := trainDS.Subset(cfg.EvalN)
+	evalBatch := evalDS.Batches(evalDS.Len(), nil)[0]
+	rng := tensor.NewRNG(cfg.Seed)
+	if cfg.AgingVariability > 0 {
+		mn.RandomizeAging(cfg.AgingVariability, rng.Split())
+	}
+	if cfg.BurnInStress > 0 {
+		mn.AddStress(cfg.BurnInStress)
+	}
+
+	policy := sc.MappingPolicy()
+	if cfg.PolicyOverride != nil {
+		policy = *cfg.PolicyOverride
+	}
+	mapCfg := mapping.Config{Policy: policy}
+
+	// Initial deployment: one mapping pass (Fig. 5 work flow).
+	if _, err := mapping.Map(mn, mapCfg, evalBatch.X, evalBatch.Y); err != nil {
+		return res, fmt.Errorf("lifetime: initial mapping: %w", err)
+	}
+
+	tune := func(cycle int) (tuning.Result, error) {
+		return tuning.Tune(mn, trainDS, evalBatch.X, evalBatch.Y, tuning.Config{
+			MaxIters:  cfg.TuneCap,
+			TargetAcc: cfg.TargetAcc,
+			BatchSize: cfg.TuneBatch,
+			StepFrac:  cfg.StepFrac,
+			Seed:      cfg.Seed + int64(cycle),
+		})
+	}
+
+	var apps int64
+	for cycle := 1; cycle <= cfg.MaxCycles; cycle++ {
+		// Applications run: read-disturb drift accumulates, then the
+		// per-application online tuning restores the target accuracy
+		// (Section II-C).
+		mn.Drift(cfg.DriftSigma, rng)
+		tuneRes, err := tune(cycle)
+		if err != nil {
+			return res, fmt.Errorf("lifetime: cycle %d: %w", cycle, err)
+		}
+		rec := CycleRecord{
+			Cycle:     cycle,
+			TuneIters: tuneRes.Iterations,
+			Converged: tuneRes.Converged,
+			Acc:       tuneRes.FinalAcc,
+		}
+		remapFrac := cfg.RemapIterFrac
+		if remapFrac == 0 {
+			remapFrac = 0.5
+		}
+		if !tuneRes.Converged || float64(tuneRes.Iterations) >= remapFrac*float64(cfg.TuneCap) {
+			// Tuning is failing or has become expensive: remap the
+			// trained weights (under the scenario's policy — this is
+			// where aging-aware range selection acts) and retry.
+			rec.Remapped = true
+			mapRes, err := mapping.Map(mn, mapCfg, evalBatch.X, evalBatch.Y)
+			if err != nil {
+				return res, fmt.Errorf("lifetime: cycle %d remap: %w", cycle, err)
+			}
+			rec.MapClipped = mapRes.Stats.Clipped
+			retry, err := tune(cycle + 1_000_000)
+			if err != nil {
+				return res, fmt.Errorf("lifetime: cycle %d retry: %w", cycle, err)
+			}
+			rec.TuneIters += retry.Iterations
+			rec.Converged = retry.Converged
+			rec.Acc = retry.FinalAcc
+		}
+		rec.ConvUpper, rec.FCUpper = mn.MeanUpperBoundByKind()
+		if !rec.Converged {
+			// Even remapping could not rescue the array: failure.
+			rec.Apps = apps
+			res.Records = append(res.Records, rec)
+			res.Lifetime = apps
+			res.Failed = true
+			return res, nil
+		}
+		apps += cfg.AppsPerCycle
+		rec.Apps = apps
+		res.Records = append(res.Records, rec)
+	}
+	res.Lifetime = apps
+	res.Failed = false
+	return res, nil
+}
+
+// SuggestTarget returns a target accuracy for lifetime runs: the
+// hardware accuracy right after an ideal fresh mapping of the trained
+// network, minus margin. Matching the paper's setup, the target is
+// chosen so a healthy array converges within a handful of iterations.
+func SuggestTarget(net *nn.Network, trainDS *dataset.Dataset, p device.Params, model aging.Model, tempK float64, evalN int, margin float64) (float64, error) {
+	snap := net.SnapshotParams()
+	defer net.RestoreParams(snap)
+	mn, err := crossbar.NewMappedNetwork(net, p, model, tempK)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := mapping.Map(mn, mapping.Config{Policy: mapping.Fresh}, nil, nil); err != nil {
+		return 0, err
+	}
+	evalDS := trainDS.Subset(evalN)
+	b := evalDS.Batches(evalDS.Len(), nil)[0]
+	acc := mn.Accuracy(b.X, b.Y)
+	target := acc - margin
+	if target <= 0 {
+		return 0, fmt.Errorf("lifetime: suggested target %g is not positive (fresh accuracy %g, margin %g)", target, acc, margin)
+	}
+	if target > 1 {
+		target = 1
+	}
+	return target, nil
+}

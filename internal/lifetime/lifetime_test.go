@@ -1,0 +1,218 @@
+package lifetime
+
+import (
+	"testing"
+
+	"memlife/internal/aging"
+	"memlife/internal/dataset"
+	"memlife/internal/device"
+	"memlife/internal/nn"
+	"memlife/internal/tensor"
+	"memlife/internal/train"
+)
+
+// fastAging returns an aggressive aging model so failures occur within
+// a handful of cycles during tests.
+func fastAging() aging.Model {
+	m := aging.DefaultModel()
+	m.A = 20000
+	m.B = 2000
+	return m
+}
+
+// fixture trains a small MLP (L2 or skewed) and returns it with data.
+func fixture(t *testing.T, skewed bool) (*nn.Network, *dataset.Dataset) {
+	t.Helper()
+	cfg := dataset.SynthConfig{Classes: 4, TrainN: 160, TestN: 60, C: 3, H: 8, W: 8, Noise: 0.15, Seed: 61}
+	trainDS, testDS := dataset.MustGenerate(cfg)
+	net, err := nn.NewMLP("m", []int{trainDS.SampleSize(), 20, 4}, tensor.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reg train.Regularizer = train.L2{Lambda: 1e-4}
+	if skewed {
+		// Pre-train betas from a short conventional run.
+		if _, err := train.Train(net, trainDS, testDS, train.Config{
+			Epochs: 3, BatchSize: 16, LR: 0.02, Momentum: 0.9, Seed: 1, Reg: reg,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		sk, err := train.NewSkewed(0.01, 0.001, train.BetasFromNetwork(net, 1.0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg = sk
+	}
+	if _, err := train.Train(net, trainDS, testDS, train.Config{
+		Epochs: 6, BatchSize: 16, LR: 0.02, Momentum: 0.9, Seed: 1, Reg: reg,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return net, trainDS
+}
+
+func testConfig(target float64) Config {
+	return Config{
+		AppsPerCycle: 1000,
+		MaxCycles:    25,
+		TuneCap:      40,
+		TargetAcc:    target,
+		DriftSigma:   0.05,
+		TuneBatch:    32,
+		EvalN:        64,
+		Seed:         5,
+	}
+}
+
+func TestScenarioStringsAndPolicies(t *testing.T) {
+	if TT.String() != "T+T" || STT.String() != "ST+T" || STAT.String() != "ST+AT" {
+		t.Fatal("scenario labels must match the paper")
+	}
+	if TT.MappingPolicy().String() != "fresh" || STT.MappingPolicy().String() != "fresh" {
+		t.Fatal("T+T and ST+T map with the fresh policy")
+	}
+	if STAT.MappingPolicy().String() != "aging-aware" {
+		t.Fatal("ST+AT maps with the aging-aware policy")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	bad := []Config{
+		{AppsPerCycle: 0, MaxCycles: 1, TuneCap: 1, TargetAcc: 0.5, TuneBatch: 1, EvalN: 1},
+		{AppsPerCycle: 1, MaxCycles: 0, TuneCap: 1, TargetAcc: 0.5, TuneBatch: 1, EvalN: 1},
+		{AppsPerCycle: 1, MaxCycles: 1, TuneCap: 0, TargetAcc: 0.5, TuneBatch: 1, EvalN: 1},
+		{AppsPerCycle: 1, MaxCycles: 1, TuneCap: 1, TargetAcc: 0, TuneBatch: 1, EvalN: 1},
+		{AppsPerCycle: 1, MaxCycles: 1, TuneCap: 1, TargetAcc: 0.5, TuneBatch: 0, EvalN: 1},
+		{AppsPerCycle: 1, MaxCycles: 1, TuneCap: 1, TargetAcc: 0.5, TuneBatch: 1, EvalN: 0},
+		{AppsPerCycle: 1, MaxCycles: 1, TuneCap: 1, TargetAcc: 0.5, DriftSigma: -1, TuneBatch: 1, EvalN: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d: config %+v should be rejected", i, c)
+		}
+	}
+}
+
+func TestSuggestTargetRestoresWeights(t *testing.T) {
+	net, trainDS := fixture(t, false)
+	before := net.SnapshotParams()
+	target, err := SuggestTarget(net, trainDS, device.Params32(), aging.DefaultModel(), 300, 64, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target <= 0 || target > 1 {
+		t.Fatalf("suggested target %g out of range", target)
+	}
+	after := net.SnapshotParams()
+	for i := range before {
+		for j := range before[i] {
+			if before[i][j] != after[i][j] {
+				t.Fatal("SuggestTarget must leave the network untouched")
+			}
+		}
+	}
+}
+
+func TestRunProducesRecordsAndFails(t *testing.T) {
+	net, trainDS := fixture(t, false)
+	target, err := SuggestTarget(net, trainDS, device.Params32(), fastAging(), 300, 64, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(net, trainDS, TT, device.Params32(), fastAging(), 300, testConfig(target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) == 0 {
+		t.Fatal("run must record cycles")
+	}
+	if !res.Failed {
+		t.Fatalf("aggressive aging must kill the array within %d cycles; lifetime=%d", testConfig(target).MaxCycles, res.Lifetime)
+	}
+	last := res.Records[len(res.Records)-1]
+	if last.Converged {
+		t.Fatal("the failing cycle must be non-converged")
+	}
+	if res.Lifetime != last.Apps {
+		t.Fatalf("lifetime %d must equal apps at failure %d", res.Lifetime, last.Apps)
+	}
+	if res.Lifetime%1000 != 0 {
+		t.Fatalf("lifetime %d must be a whole number of cycles", res.Lifetime)
+	}
+	// Cumulative apps must be non-decreasing and cycle indices dense.
+	for i, r := range res.Records {
+		if r.Cycle != i+1 {
+			t.Fatalf("cycle indices must be 1..n, got %d at %d", r.Cycle, i)
+		}
+		if i > 0 && r.Apps < res.Records[i-1].Apps {
+			t.Fatal("apps must be non-decreasing")
+		}
+	}
+}
+
+func TestTuningIterationsRiseTowardsFailure(t *testing.T) {
+	net, trainDS := fixture(t, false)
+	target, err := SuggestTarget(net, trainDS, device.Params32(), fastAging(), 300, 64, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(net, trainDS, TT, device.Params32(), fastAging(), 300, testConfig(target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) < 2 {
+		t.Skip("array died on the first cycle; no trend to check")
+	}
+	first := res.Records[0].TuneIters
+	last := res.Records[len(res.Records)-1].TuneIters
+	if last <= first {
+		t.Fatalf("Fig. 10 shape violated: tuning iterations %d -> %d must rise towards failure", first, last)
+	}
+}
+
+func TestUpperBoundsDecayMonotonically(t *testing.T) {
+	net, trainDS := fixture(t, false)
+	target, err := SuggestTarget(net, trainDS, device.Params32(), fastAging(), 300, 64, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(net, trainDS, TT, device.Params32(), fastAging(), 300, testConfig(target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Records); i++ {
+		if res.Records[i].FCUpper > res.Records[i-1].FCUpper+1e-9 {
+			t.Fatal("mean aged upper bound must never recover (aging is irreversible)")
+		}
+	}
+}
+
+// TestSkewedOutlivesConventional is the light-weight version of the
+// paper's Table I claim: with identical budgets, ST+T must outlive T+T.
+func TestSkewedOutlivesConventional(t *testing.T) {
+	ttNet, trainDS := fixture(t, false)
+	target, err := SuggestTarget(ttNet, trainDS, device.Params32(), fastAging(), 300, 64, 0.06)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := Run(ttNet, trainDS, TT, device.Params32(), fastAging(), 300, testConfig(target))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stNet, _ := fixture(t, true)
+	stTarget, err := SuggestTarget(stNet, trainDS, device.Params32(), fastAging(), 300, 64, 0.06)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run(stNet, trainDS, STT, device.Params32(), fastAging(), 300, testConfig(stTarget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Lifetime < tt.Lifetime {
+		t.Fatalf("ST+T lifetime %d must be >= T+T lifetime %d", st.Lifetime, tt.Lifetime)
+	}
+}

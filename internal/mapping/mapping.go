@@ -1,0 +1,240 @@
+// Package mapping implements hardware mapping of trained weights onto
+// crossbars: the baseline fresh-range mapping (Section II-B) and the
+// paper's aging-aware mapping (Section IV-B), which estimates the aged
+// range bounds from the traced 1-of-9 representative devices and picks
+// the common resistance range by iterative, accuracy-driven selection
+// (Fig. 8). Two simpler aged-range policies (worst-case and mean bound)
+// are included as ablation baselines.
+package mapping
+
+import (
+	"fmt"
+	"sort"
+
+	"memlife/internal/crossbar"
+	"memlife/internal/tensor"
+)
+
+// PolicyKind selects how the common mapping range of each layer is set.
+type PolicyKind int
+
+const (
+	// Fresh ignores aging and always maps onto the fresh device range —
+	// the conventional mapping of the T+T and ST+T scenarios.
+	Fresh PolicyKind = iota
+	// AgingAware runs the paper's iterative selection: candidate upper
+	// bounds are the traced aged bounds between R^L_aged,max and
+	// R^U_aged,max; the one with the highest classification accuracy
+	// wins (the AT of ST+AT).
+	AgingAware
+	// WorstCase uses the smallest traced aged upper bound (ablation).
+	WorstCase
+	// MeanBound uses the mean traced aged upper bound (ablation).
+	MeanBound
+)
+
+// String names the policy for reports.
+func (k PolicyKind) String() string {
+	switch k {
+	case Fresh:
+		return "fresh"
+	case AgingAware:
+		return "aging-aware"
+	case WorstCase:
+		return "worst-case"
+	case MeanBound:
+		return "mean-bound"
+	default:
+		return fmt.Sprintf("policy(%d)", int(k))
+	}
+}
+
+// Config parameterizes mapping.
+type Config struct {
+	Policy PolicyKind
+	// MaxCandidates bounds the number of candidate upper bounds the
+	// iterative selection evaluates (evenly subsampled from the sorted
+	// traced bounds). Zero means 8.
+	MaxCandidates int
+	// MinLevels is the smallest number of quantization levels a
+	// selected range may span. Zero means 4.
+	MinLevels int
+}
+
+func (c Config) maxCandidates() int {
+	if c.MaxCandidates <= 0 {
+		return 8
+	}
+	return c.MaxCandidates
+}
+
+func (c Config) minLevels() int {
+	if c.MinLevels <= 0 {
+		return 4
+	}
+	return c.MinLevels
+}
+
+// CandidateScore records one evaluated candidate of the iterative
+// selection (the data behind Fig. 8).
+type CandidateScore struct {
+	RHi      float64
+	Accuracy float64
+}
+
+// LayerSelection records the chosen range of one layer.
+type LayerSelection struct {
+	Layer      string
+	RLo, RHi   float64
+	Candidates []CandidateScore // non-empty only for AgingAware
+}
+
+// Result summarizes one mapping pass over a network.
+type Result struct {
+	Policy     PolicyKind
+	Selections []LayerSelection
+	Stats      crossbar.MapStatsTotal
+}
+
+// Map selects a common range per layer under cfg.Policy, programs every
+// crossbar accordingly, and refreshes the host network with the
+// effective weights. evalX/evalY are the labelled samples used to score
+// candidates; they are required for the AgingAware policy and ignored
+// otherwise.
+func Map(mn *crossbar.MappedNetwork, cfg Config, evalX *tensor.Tensor, evalY []int) (Result, error) {
+	res := Result{Policy: cfg.Policy}
+	if cfg.Policy == AgingAware && (evalX == nil || len(evalY) == 0) {
+		return res, fmt.Errorf("mapping: aging-aware policy needs evaluation samples")
+	}
+	// Score candidates against software weights for all not-yet-mapped
+	// layers; layers already processed keep their chosen quantized form.
+	mn.RestoreSoftwareWeights()
+
+	for i, l := range mn.Layers {
+		sel, err := selectRange(mn, i, cfg, evalX, evalY)
+		if err != nil {
+			return res, fmt.Errorf("mapping: layer %s: %w", l.Name, err)
+		}
+		res.Selections = append(res.Selections, sel)
+		// Commit this layer's hypothetical quantized weights so later
+		// layers are scored against it (greedy sequential selection).
+		l.Param.W.CopyFrom(l.Crossbar.QuantizeWeights(l.Target, sel.RLo, sel.RHi))
+	}
+	// Only now touch hardware: one programming pass per layer.
+	for i, sel := range res.Selections {
+		s := mn.MapLayer(i, sel.RLo, sel.RHi)
+		res.Stats.Pulses += s.Pulses
+		res.Stats.Stress += s.Stress
+		res.Stats.Clipped += s.Clipped
+	}
+	mn.Refresh()
+	return res, nil
+}
+
+// selectRange chooses the common range of layer i.
+func selectRange(mn *crossbar.MappedNetwork, i int, cfg Config, evalX *tensor.Tensor, evalY []int) (LayerSelection, error) {
+	l := mn.Layers[i]
+	p := l.Crossbar.Params()
+	rLo := p.RminFresh
+	minWidth := float64(cfg.minLevels()-1) * p.LevelSpacing()
+	clampHi := func(hi float64) float64 {
+		if hi > p.RmaxFresh {
+			hi = p.RmaxFresh
+		}
+		if hi < rLo+minWidth {
+			hi = rLo + minWidth
+		}
+		return hi
+	}
+
+	switch cfg.Policy {
+	case Fresh:
+		return LayerSelection{Layer: l.Name, RLo: rLo, RHi: p.RmaxFresh}, nil
+
+	case WorstCase:
+		ubs := l.Crossbar.TracedUpperBounds()
+		return LayerSelection{Layer: l.Name, RLo: rLo, RHi: clampHi(ubs[0])}, nil
+
+	case MeanBound:
+		ubs := l.Crossbar.TracedUpperBounds()
+		sum := 0.0
+		for _, v := range ubs {
+			sum += v
+		}
+		return LayerSelection{Layer: l.Name, RLo: rLo, RHi: clampHi(sum / float64(len(ubs)))}, nil
+
+	case AgingAware:
+		sel := LayerSelection{Layer: l.Name, RLo: rLo}
+		// Snap candidate bounds down onto the level grid: ranges are
+		// realized by the level circuitry, and snapping keeps the
+		// selected range stable across mapping events until a traced
+		// bound actually crosses a level — avoiding a full-array
+		// reprogram (and its aging cost) on every remap.
+		raw := l.Crossbar.TracedUpperBounds()
+		snapped := make([]float64, 0, len(raw))
+		for _, hi := range raw {
+			hi = clampHi(hi)
+			lvl := int((hi - p.RminFresh) / p.LevelSpacing())
+			if lvl < 0 {
+				lvl = 0
+			}
+			if lvl >= p.Levels {
+				lvl = p.Levels - 1
+			}
+			snapped = append(snapped, clampHi(p.LevelResistance(lvl)))
+		}
+		sort.Float64s(snapped)
+		candidates := candidateBounds(snapped, cfg.maxCandidates())
+		// Evaluate widest-first so ties keep the widest range (more
+		// levels, lower currents).
+		bestAcc := -1.0
+		saved := l.Param.W.Clone()
+		for i := len(candidates) - 1; i >= 0; i-- {
+			hi := candidates[i]
+			l.Param.W.CopyFrom(l.Crossbar.QuantizeWeights(l.Target, rLo, hi))
+			acc := mn.Net.Accuracy(evalX, evalY)
+			sel.Candidates = append(sel.Candidates, CandidateScore{RHi: hi, Accuracy: acc})
+			if acc > bestAcc {
+				bestAcc = acc
+				sel.RHi = hi
+			}
+		}
+		l.Param.W.CopyFrom(saved)
+		if sel.RHi == 0 {
+			return sel, fmt.Errorf("no candidate ranges available")
+		}
+		return sel, nil
+
+	default:
+		return LayerSelection{}, fmt.Errorf("unknown policy %v", cfg.Policy)
+	}
+}
+
+// candidateBounds deduplicates the sorted traced upper bounds and, when
+// there are more than max, subsamples them evenly across
+// [R^L_aged,max, R^U_aged,max] — the iteration interval of Fig. 8.
+func candidateBounds(sorted []float64, max int) []float64 {
+	uniq := sorted[:0:0]
+	for _, v := range sorted {
+		if len(uniq) == 0 || v > uniq[len(uniq)-1]+1e-9 {
+			uniq = append(uniq, v)
+		}
+	}
+	if len(uniq) <= max {
+		return uniq
+	}
+	out := make([]float64, 0, max)
+	for k := 0; k < max; k++ {
+		idx := k * (len(uniq) - 1) / (max - 1)
+		out = append(out, uniq[idx])
+	}
+	// Subsampling preserves order; dedupe again in case of collisions.
+	sort.Float64s(out)
+	dedup := out[:0]
+	for _, v := range out {
+		if len(dedup) == 0 || v > dedup[len(dedup)-1]+1e-9 {
+			dedup = append(dedup, v)
+		}
+	}
+	return dedup
+}

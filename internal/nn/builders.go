@@ -1,0 +1,160 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"memlife/internal/tensor"
+)
+
+// LeNetConfig describes a LeNet-5 instance (2 convolutional + 3
+// fully-connected layers, as in Table I of the paper).
+type LeNetConfig struct {
+	InC, H, W int
+	Classes   int
+}
+
+// Validate reports an error for shapes LeNet-5 cannot process.
+func (c LeNetConfig) Validate() error {
+	if c.InC < 1 || c.Classes < 2 {
+		return fmt.Errorf("nn: lenet needs channels >= 1 and classes >= 2, got C=%d classes=%d", c.InC, c.Classes)
+	}
+	if c.H < 12 || c.W < 12 {
+		return fmt.Errorf("nn: lenet needs at least 12x12 input, got %dx%d", c.H, c.W)
+	}
+	if c.H%4 != 0 || c.W%4 != 0 {
+		return fmt.Errorf("nn: lenet input must be divisible by 4, got %dx%d", c.H, c.W)
+	}
+	return nil
+}
+
+// NewLeNet5 builds LeNet-5: conv5x5(6) - pool - conv5x5(16) - pool -
+// fc120 - fc84 - fc(classes), with ReLU activations.
+func NewLeNet5(cfg LeNetConfig, rng *tensor.RNG) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	conv1Geom := tensor.ConvGeom{InC: cfg.InC, InH: cfg.H, InW: cfg.W, KH: 5, KW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2}
+	pool1Geom := tensor.ConvGeom{InC: 6, InH: cfg.H, InW: cfg.W, KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+	h2, w2 := cfg.H/2, cfg.W/2
+	conv2Geom := tensor.ConvGeom{InC: 6, InH: h2, InW: w2, KH: 5, KW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2}
+	pool2Geom := tensor.ConvGeom{InC: 16, InH: h2, InW: w2, KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+	flat := 16 * (h2 / 2) * (w2 / 2)
+
+	net := NewNetwork("lenet5", cfg.InC*cfg.H*cfg.W,
+		NewConv2D("conv1", conv1Geom, 6, rng),
+		NewReLU(),
+		NewMaxPool2D("pool1", pool1Geom),
+		NewConv2D("conv2", conv2Geom, 16, rng),
+		NewReLU(),
+		NewMaxPool2D("pool2", pool2Geom),
+		NewFlatten(),
+		NewDense("fc1", flat, 120, rng),
+		NewReLU(),
+		NewDense("fc2", 120, 84, rng),
+		NewReLU(),
+		NewDense("fc3", 84, cfg.Classes, rng),
+	)
+	return net, nil
+}
+
+// VGGConfig describes a VGG-16 instance (13 convolutional + 3
+// fully-connected layers, Table I of the paper). WidthMult scales the
+// channel counts so the topology can run on CPU; 1.0 reproduces the
+// published widths.
+type VGGConfig struct {
+	InC, H, W int
+	Classes   int
+	WidthMult float64
+	FCWidth   int // width of the two hidden FC layers (paper: 4096)
+}
+
+// Validate reports an error for shapes VGG-16 cannot process.
+func (c VGGConfig) Validate() error {
+	if c.InC < 1 || c.Classes < 2 {
+		return fmt.Errorf("nn: vgg needs channels >= 1 and classes >= 2, got C=%d classes=%d", c.InC, c.Classes)
+	}
+	if c.H%32 != 0 || c.W%32 != 0 || c.H < 32 || c.W < 32 {
+		return fmt.Errorf("nn: vgg input must be a positive multiple of 32 (5 pooling stages), got %dx%d", c.H, c.W)
+	}
+	if c.WidthMult <= 0 {
+		return fmt.Errorf("nn: vgg width multiplier must be positive, got %g", c.WidthMult)
+	}
+	if c.FCWidth < 1 {
+		return fmt.Errorf("nn: vgg FC width must be >= 1, got %d", c.FCWidth)
+	}
+	return nil
+}
+
+// vggPlan lists the 13 conv widths and pool positions of VGG-16:
+// 2x64 P 2x128 P 3x256 P 3x512 P 3x512 P.
+var vggPlan = []struct {
+	width int  // 0 marks a pooling stage
+	pool  bool //
+}{
+	{64, false}, {64, false}, {0, true},
+	{128, false}, {128, false}, {0, true},
+	{256, false}, {256, false}, {256, false}, {0, true},
+	{512, false}, {512, false}, {512, false}, {0, true},
+	{512, false}, {512, false}, {512, false}, {0, true},
+}
+
+// NewVGG16 builds a VGG-16 with the given width multiplier.
+func NewVGG16(cfg VGGConfig, rng *tensor.RNG) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	scale := func(base int) int {
+		w := int(math.Round(float64(base) * cfg.WidthMult))
+		if w < 1 {
+			w = 1
+		}
+		return w
+	}
+	var layers []Layer
+	c, h, w := cfg.InC, cfg.H, cfg.W
+	convIdx, poolIdx := 0, 0
+	for _, stage := range vggPlan {
+		if stage.pool {
+			poolIdx++
+			geom := tensor.ConvGeom{InC: c, InH: h, InW: w, KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+			layers = append(layers, NewMaxPool2D(fmt.Sprintf("pool%d", poolIdx), geom))
+			h, w = h/2, w/2
+			continue
+		}
+		convIdx++
+		outC := scale(stage.width)
+		geom := tensor.ConvGeom{InC: c, InH: h, InW: w, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+		layers = append(layers,
+			NewConv2D(fmt.Sprintf("conv%d", convIdx), geom, outC, rng),
+			NewReLU(),
+		)
+		c = outC
+	}
+	flat := c * h * w
+	layers = append(layers,
+		NewFlatten(),
+		NewDense("fc1", flat, cfg.FCWidth, rng),
+		NewReLU(),
+		NewDense("fc2", cfg.FCWidth, cfg.FCWidth, rng),
+		NewReLU(),
+		NewDense("fc3", cfg.FCWidth, cfg.Classes, rng),
+	)
+	return NewNetwork("vgg16", cfg.InC*cfg.H*cfg.W, layers...), nil
+}
+
+// NewMLP builds a plain multi-layer perceptron with ReLU activations
+// between the given layer widths. Used by small experiments and tests.
+func NewMLP(name string, widths []int, rng *tensor.RNG) (*Network, error) {
+	if len(widths) < 2 {
+		return nil, fmt.Errorf("nn: mlp needs at least input and output widths, got %v", widths)
+	}
+	var layers []Layer
+	for i := 0; i < len(widths)-1; i++ {
+		layers = append(layers, NewDense(fmt.Sprintf("fc%d", i+1), widths[i], widths[i+1], rng))
+		if i < len(widths)-2 {
+			layers = append(layers, NewReLU())
+		}
+	}
+	return NewNetwork(name, widths[0], layers...), nil
+}

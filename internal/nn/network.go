@@ -1,0 +1,171 @@
+package nn
+
+import (
+	"fmt"
+
+	"memlife/internal/tensor"
+)
+
+// Network is an ordered stack of layers with a softmax cross-entropy
+// head. It owns the forward/backward plumbing used both for software
+// training (Section II-A of the paper) and as the gradient oracle for
+// online tuning (Section II-C).
+type Network struct {
+	Name      string
+	InputSize int
+	Layers    []Layer
+}
+
+// NewNetwork builds a network and shape-checks the layer stack against
+// the declared input size.
+func NewNetwork(name string, inputSize int, layers ...Layer) *Network {
+	if inputSize <= 0 {
+		panic(fmt.Sprintf("nn: network %q input size must be positive, got %d", name, inputSize))
+	}
+	size := inputSize
+	for _, l := range layers {
+		size = l.OutputSize(size) // panics with a specific message on mismatch
+	}
+	return &Network{Name: name, InputSize: inputSize, Layers: layers}
+}
+
+// OutputSize returns the per-sample logit width.
+func (n *Network) OutputSize() int {
+	size := n.InputSize
+	for _, l := range n.Layers {
+		size = l.OutputSize(size)
+	}
+	return size
+}
+
+// Params returns all trainable parameters in layer order.
+func (n *Network) Params() []*Param {
+	var out []*Param
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// WeightParams returns only the crossbar-mapped weight matrices.
+func (n *Network) WeightParams() []*Param {
+	var out []*Param
+	for _, p := range n.Params() {
+		if p.Kind == KindWeight {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ZeroGrads clears every parameter gradient.
+func (n *Network) ZeroGrads() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// Forward runs the batch x through all layers and returns logits.
+func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x
+	for _, l := range n.Layers {
+		out = l.Forward(out, train)
+	}
+	return out
+}
+
+// Backward propagates dlogits through all layers, accumulating parameter
+// gradients, and returns the input gradient.
+func (n *Network) Backward(dlogits *tensor.Tensor) *tensor.Tensor {
+	d := dlogits
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		d = n.Layers[i].Backward(d)
+	}
+	return d
+}
+
+// Predict returns the argmax class for every sample in x.
+func (n *Network) Predict(x *tensor.Tensor) []int {
+	logits := n.Forward(x, false)
+	b := logits.Dim(0)
+	out := make([]int, b)
+	for i := 0; i < b; i++ {
+		out[i] = logits.RowSlice(i).ArgMax()
+	}
+	return out
+}
+
+// Accuracy returns the fraction of samples in x classified as y.
+func (n *Network) Accuracy(x *tensor.Tensor, y []int) float64 {
+	pred := n.Predict(x)
+	if len(pred) != len(y) {
+		panic(fmt.Sprintf("nn: accuracy label count %d != batch %d", len(y), len(pred)))
+	}
+	correct := 0
+	for i, p := range pred {
+		if p == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(y))
+}
+
+// SnapshotParams deep-copies every parameter tensor (weights and
+// biases), so a trained state can be restored after hardware simulation
+// overwrote the live weights.
+func (n *Network) SnapshotParams() [][]float64 {
+	var out [][]float64
+	for _, p := range n.Params() {
+		out = append(out, append([]float64(nil), p.W.Data()...))
+	}
+	return out
+}
+
+// RestoreParams writes a snapshot taken with SnapshotParams back into
+// the network. The snapshot must come from a structurally identical
+// network.
+func (n *Network) RestoreParams(snap [][]float64) {
+	params := n.Params()
+	if len(snap) != len(params) {
+		panic(fmt.Sprintf("nn: snapshot has %d tensors, network has %d", len(snap), len(params)))
+	}
+	for i, p := range params {
+		if len(snap[i]) != p.W.Size() {
+			panic(fmt.Sprintf("nn: snapshot tensor %d size %d, want %d", i, len(snap[i]), p.W.Size()))
+		}
+		copy(p.W.Data(), snap[i])
+	}
+}
+
+// LayerKind classifies a weight-bearing layer for the conv-vs-FC aging
+// analysis of Fig. 11.
+type LayerKind int
+
+const (
+	// LayerConv marks a convolutional weight matrix.
+	LayerConv LayerKind = iota
+	// LayerFC marks a fully-connected weight matrix.
+	LayerFC
+)
+
+// WeightLayer pairs a weight parameter with its host layer's kind.
+type WeightLayer struct {
+	Param *Param
+	Kind  LayerKind
+	Layer Layer
+}
+
+// WeightLayers returns the crossbar-mapped weight matrices with their
+// layer kinds, in network order.
+func (n *Network) WeightLayers() []WeightLayer {
+	var out []WeightLayer
+	for _, l := range n.Layers {
+		switch t := l.(type) {
+		case *Conv2D:
+			out = append(out, WeightLayer{Param: t.Weight, Kind: LayerConv, Layer: l})
+		case *Dense:
+			out = append(out, WeightLayer{Param: t.Weight, Kind: LayerFC, Layer: l})
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package nn
+
+import (
+	"testing"
+
+	"memlife/internal/tensor"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(21)
+	net, err := NewMLP("m", []int{4, 6, 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := net.SnapshotParams()
+	// Snapshot must be a deep copy.
+	for _, p := range net.Params() {
+		p.W.Fill(99)
+	}
+	if snap[0][0] == 99 {
+		t.Fatal("snapshot must not alias live parameters")
+	}
+	net.RestoreParams(snap)
+	for i, p := range net.Params() {
+		for j, v := range p.W.Data() {
+			if v != snap[i][j] {
+				t.Fatal("restore must bring back snapshotted values")
+			}
+		}
+	}
+}
+
+func TestRestoreParamsShapeMismatchPanics(t *testing.T) {
+	rng := tensor.NewRNG(22)
+	net, err := NewMLP("m", []int{4, 6, 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := net.SnapshotParams()
+
+	t.Run("wrong tensor count", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		net.RestoreParams(snap[:1])
+	})
+	t.Run("wrong tensor size", func(t *testing.T) {
+		bad := append([][]float64(nil), snap...)
+		bad[0] = bad[0][:3]
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		net.RestoreParams(bad)
+	})
+}
+
+func TestZeroGradsClearsEverything(t *testing.T) {
+	rng := tensor.NewRNG(23)
+	net, err := NewMLP("m", []int{4, 6, 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range net.Params() {
+		p.Grad.Fill(1)
+	}
+	net.ZeroGrads()
+	for _, p := range net.Params() {
+		if p.Grad.AbsMax() != 0 {
+			t.Fatalf("gradient of %s not cleared", p.Name)
+		}
+	}
+}
+
+func TestWeightParamsExcludeBiases(t *testing.T) {
+	rng := tensor.NewRNG(24)
+	net, err := NewMLP("m", []int{4, 6, 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Params()) != 4 { // 2 weights + 2 biases
+		t.Fatalf("params = %d, want 4", len(net.Params()))
+	}
+	for _, p := range net.WeightParams() {
+		if p.Kind != KindWeight {
+			t.Fatal("WeightParams must only return weights")
+		}
+	}
+	if len(net.WeightParams()) != 2 {
+		t.Fatalf("weight params = %d, want 2", len(net.WeightParams()))
+	}
+}

@@ -1,0 +1,120 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns a @ b for rank-2 tensors a[m,k] and b[k,n].
+// The kernel is written ikj-order so the inner loop streams both the
+// output row and the b row sequentially, which keeps it cache-friendly
+// without external BLAS.
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul needs rank-2 operands, got %v and %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimensions differ: %v @ %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a @ b, reusing dst's storage. dst must have
+// shape [a.rows, b.cols] and must not alias a or b.
+func MatMulInto(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	dst.Zero()
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		drow := dst.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulATInto computes dst = aᵀ @ b where a is [k,m] and b is [k,n],
+// producing dst [m,n]. Used by dense/conv backward passes to avoid
+// materialising explicit transposes.
+func MatMulATInto(dst, a, b *Tensor) {
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulATInto inner dimensions differ: %vᵀ @ %v", a.shape, b.shape))
+	}
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulATInto dst shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	dst.Zero()
+	for p := 0; p < k; p++ {
+		arow := a.data[p*m : (p+1)*m]
+		brow := b.data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulBTInto computes dst = a @ bᵀ where a is [m,k] and b is [n,k],
+// producing dst [m,n].
+func MatMulBTInto(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulBTInto inner dimensions differ: %v @ %vᵀ", a.shape, b.shape))
+	}
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulBTInto dst shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		drow := dst.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			drow[j] = s
+		}
+	}
+}
+
+// MatVec returns a @ x for a rank-2 tensor a[m,k] and rank-1 x[k].
+func MatVec(a, x *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(x.shape) != 1 {
+		panic(fmt.Sprintf("tensor: MatVec needs [m,k]@[k], got %v and %v", a.shape, x.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	if x.shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatVec dimension mismatch %v @ %v", a.shape, x.shape))
+	}
+	out := New(m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*k : (i+1)*k]
+		s := 0.0
+		for p, v := range row {
+			s += v * x.data[p]
+		}
+		out.data[i] = s
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"memlife/internal/dataset"
+	"memlife/internal/nn"
+	"memlife/internal/tensor"
+)
+
+func TestScaledRegularizers(t *testing.T) {
+	net, err := nn.NewMLP("m", []int{4, 3}, tensor.NewRNG(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := net.Params()
+
+	l2 := L2{Lambda: 0.4}
+	half := l2.Scaled(0.5)
+	if got, want := half.Penalty(params), 0.5*l2.Penalty(params); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("scaled L2 penalty = %g, want %g", got, want)
+	}
+
+	sk, err := NewSkewed(0.8, 0.2, map[string]float64{"fc1.w": -0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skHalf := sk.Scaled(0.5)
+	if got, want := skHalf.Penalty(params), 0.5*sk.Penalty(params); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("scaled skewed penalty = %g, want %g", got, want)
+	}
+	// Scaling must not mutate the original.
+	if sk.Lambda1 != 0.8 {
+		t.Fatal("Scaled must return a copy")
+	}
+	// Betas are preserved by scaling.
+	if skHalf.(*Skewed).Betas["fc1.w"] != -0.1 {
+		t.Fatal("Scaled must preserve the reference weights")
+	}
+
+	var none None
+	if none.Scaled(0.1).Penalty(params) != 0 {
+		t.Fatal("scaled None is still zero")
+	}
+}
+
+// TestRegWarmupStabilizesStrongPenalty reproduces the failure mode the
+// warmup exists for: a strong skewed penalty applied from the first
+// batch can collapse training, while the same penalty ramped over the
+// first epochs must not.
+func TestRegWarmupStabilizesStrongPenalty(t *testing.T) {
+	cfg := dataset.SynthConfig{Classes: 4, TrainN: 240, TestN: 80, C: 3, H: 8, W: 8, Noise: 0.15, Seed: 33}
+	trainDS, testDS := dataset.MustGenerate(cfg)
+
+	run := func(warmup int) float64 {
+		net, err := nn.NewMLP("m", []int{trainDS.SampleSize(), 24, 4}, tensor.NewRNG(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sk, err := NewSkewed(0.5, 0.005, BetasFromNetwork(net, -0.5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Train(net, trainDS, testDS, Config{
+			Epochs: 6, BatchSize: 16, LR: 0.02, Momentum: 0.9, Seed: 1,
+			Reg: sk, RegWarmup: warmup,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalTestAcc
+	}
+	warm := run(3)
+	if warm < 0.5 {
+		t.Fatalf("warmup-ramped skewed training accuracy %.3f too low", warm)
+	}
+}
+
+func TestRegWarmupValidation(t *testing.T) {
+	cfg := Config{Epochs: 1, BatchSize: 8, LR: 0.1, RegWarmup: -1}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative RegWarmup must be rejected")
+	}
+}

@@ -1,0 +1,52 @@
+package train
+
+import (
+	"fmt"
+
+	"memlife/internal/nn"
+	"memlife/internal/tensor"
+)
+
+// SGD is stochastic gradient descent with classical momentum,
+// implementing the weight update of eq. (3): W <- W - LR * dCost/dW.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	velocity map[*nn.Param]*tensor.Tensor
+}
+
+// NewSGD constructs an optimizer. momentum 0 gives plain SGD.
+func NewSGD(lr, momentum float64) (*SGD, error) {
+	if lr <= 0 {
+		return nil, fmt.Errorf("train: learning rate must be positive, got %g", lr)
+	}
+	if momentum < 0 || momentum >= 1 {
+		return nil, fmt.Errorf("train: momentum must be in [0,1), got %g", momentum)
+	}
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*nn.Param]*tensor.Tensor)}, nil
+}
+
+// Step applies one update to every parameter from its accumulated
+// gradient. Gradients are not cleared; call net.ZeroGrads() before the
+// next backward pass.
+func (s *SGD) Step(params []*nn.Param) {
+	for _, p := range params {
+		if s.Momentum == 0 {
+			p.W.Axpy(-s.LR, p.Grad)
+			continue
+		}
+		v, ok := s.velocity[p]
+		if !ok {
+			v = tensor.New(p.W.Shape()...)
+			s.velocity[p] = v
+		}
+		// v <- mu*v - lr*g ; w <- w + v
+		v.Scale(s.Momentum)
+		v.Axpy(-s.LR, p.Grad)
+		p.W.Axpy(1, v)
+	}
+}
+
+// SetLR changes the learning rate (used by per-epoch decay schedules).
+func (s *SGD) SetLR(lr float64) { s.LR = lr }

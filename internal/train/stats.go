@@ -1,0 +1,60 @@
+package train
+
+import (
+	"fmt"
+
+	"memlife/internal/nn"
+)
+
+// LayerStats summarizes the weight distribution of one layer — the raw
+// material of the distribution figures (Fig. 3a, 6a, 9) and of the
+// beta_i = c * sigma_i parameter choice (Table II).
+type LayerStats struct {
+	Name     string
+	Kind     nn.LayerKind
+	Count    int
+	Mean     float64
+	Std      float64
+	Min, Max float64
+	Skewness float64
+}
+
+// NetworkStats returns per-layer weight statistics in network order.
+func NetworkStats(net *nn.Network) []LayerStats {
+	var out []LayerStats
+	for _, wl := range net.WeightLayers() {
+		w := wl.Param.W
+		mn, mx := w.MinMax()
+		out = append(out, LayerStats{
+			Name:     wl.Param.Name,
+			Kind:     wl.Kind,
+			Count:    w.Size(),
+			Mean:     w.Mean(),
+			Std:      w.Std(),
+			Min:      mn,
+			Max:      mx,
+			Skewness: SkewnessOf(w.Data()),
+		})
+	}
+	return out
+}
+
+// GatherWeights concatenates all crossbar-mapped weights of net into one
+// slice, for whole-network histograms.
+func GatherWeights(net *nn.Network) []float64 {
+	var out []float64
+	for _, p := range net.WeightParams() {
+		out = append(out, p.W.Data()...)
+	}
+	return out
+}
+
+// String renders the stats as one table row.
+func (s LayerStats) String() string {
+	kind := "fc"
+	if s.Kind == nn.LayerConv {
+		kind = "conv"
+	}
+	return fmt.Sprintf("%-10s %-4s n=%-7d mean=%+.4f std=%.4f min=%+.4f max=%+.4f skew=%+.3f",
+		s.Name, kind, s.Count, s.Mean, s.Std, s.Min, s.Max, s.Skewness)
+}

@@ -1,0 +1,222 @@
+// Package tuning implements online tuning of mapped crossbars (Section
+// II-C): after hardware mapping, conductances are nudged with
+// constant-amplitude programming pulses whose polarity follows the sign
+// of the cost gradient (eq. (5)), until the network reaches its target
+// classification accuracy or the iteration budget is exhausted. An
+// exhausted budget marks the crossbar as failing — the paper's lifetime
+// criterion (150 iterations in Section V).
+//
+// Every tuning pulse is a real programming operation: it accumulates
+// stress on the device it touches and therefore ages the array. The
+// feedback loop of Section III — clipping forces more tuning, more
+// tuning forces more aging — emerges from this accounting.
+package tuning
+
+import (
+	"fmt"
+	"sort"
+
+	"memlife/internal/crossbar"
+	"memlife/internal/dataset"
+	"memlife/internal/nn"
+	"memlife/internal/tensor"
+)
+
+// Config parameterizes one tuning run.
+type Config struct {
+	// MaxIters is the iteration budget; the paper uses 150.
+	MaxIters int
+	// TargetAcc is the classification accuracy (on the evaluation
+	// samples) at which tuning stops.
+	TargetAcc float64
+	// BatchSize is the minibatch size for gradient estimation.
+	BatchSize int
+	// StepFrac is the fraction of devices (those with the largest
+	// gradient magnitudes, per layer) pulsed each iteration. Zero
+	// means 0.25. Pulsing everything would both over-age the array and
+	// overshoot; real tuning controllers prioritize the worst weights.
+	StepFrac float64
+	// Patience stops a run early when the evaluation accuracy has not
+	// improved for this many consecutive iterations. Pulsing a stuck
+	// array only ages it further, so giving up early preserves the
+	// remaining endurance for a re-mapping attempt. Zero means 10;
+	// negative disables early stopping.
+	Patience int
+	// Seed drives batch shuffling.
+	Seed int64
+}
+
+// Validate reports an error for degenerate configs.
+func (c Config) Validate() error {
+	switch {
+	case c.MaxIters < 1:
+		return fmt.Errorf("tuning: MaxIters must be >= 1, got %d", c.MaxIters)
+	case c.TargetAcc <= 0 || c.TargetAcc > 1:
+		return fmt.Errorf("tuning: TargetAcc must be in (0,1], got %g", c.TargetAcc)
+	case c.BatchSize < 1:
+		return fmt.Errorf("tuning: BatchSize must be >= 1, got %d", c.BatchSize)
+	case c.StepFrac < 0 || c.StepFrac > 1:
+		return fmt.Errorf("tuning: StepFrac must be in [0,1], got %g", c.StepFrac)
+	}
+	return nil
+}
+
+func (c Config) stepFrac() float64 {
+	if c.StepFrac == 0 {
+		return 0.25
+	}
+	return c.StepFrac
+}
+
+func (c Config) patience() int {
+	if c.Patience == 0 {
+		return 10
+	}
+	if c.Patience < 0 {
+		return 1 << 30 // effectively disabled
+	}
+	return c.Patience
+}
+
+// Result reports the outcome of one tuning run.
+type Result struct {
+	// Iterations is the number of tuning iterations performed before
+	// reaching the target (or MaxIters on failure).
+	Iterations int
+	// Converged reports whether TargetAcc was reached within budget.
+	Converged bool
+	// FinalAcc is the accuracy at exit.
+	FinalAcc float64
+	// Pulses and Stress are the programming cost of the run.
+	Pulses int64
+	Stress float64
+	// AccTrace records accuracy before each iteration (and the final
+	// accuracy as its last element).
+	AccTrace []float64
+}
+
+// Tune runs the sign-based online tuning loop on mn. Gradient batches
+// come from ds; convergence is judged on (evalX, evalY) — in the
+// paper's flow both are training data.
+func Tune(mn *crossbar.MappedNetwork, ds *dataset.Dataset, evalX *tensor.Tensor, evalY []int, cfg Config) (Result, error) {
+	var res Result
+	if err := cfg.Validate(); err != nil {
+		return res, err
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	pulsesBefore := mn.TotalPulses()
+	stressBefore := mn.TotalStress()
+
+	batches := ds.Batches(cfg.BatchSize, rng)
+	next := 0
+
+	bestAcc := -1.0
+	sinceImprovement := 0
+	iters := 0
+	for it := 0; it < cfg.MaxIters; it++ {
+		acc := mn.Accuracy(evalX, evalY)
+		res.AccTrace = append(res.AccTrace, acc)
+		if acc >= cfg.TargetAcc {
+			res.Converged = true
+			res.FinalAcc = acc
+			res.Iterations = it
+			res.Pulses = mn.TotalPulses() - pulsesBefore
+			res.Stress = mn.TotalStress() - stressBefore
+			return res, nil
+		}
+		if acc > bestAcc+1e-9 {
+			bestAcc = acc
+			sinceImprovement = 0
+		} else {
+			sinceImprovement++
+			if sinceImprovement >= cfg.patience() {
+				iters = it
+				break
+			}
+		}
+		b := batches[next]
+		next = (next + 1) % len(batches)
+		step(mn, b, cfg.stepFrac())
+		iters = it + 1
+	}
+	res.FinalAcc = mn.Accuracy(evalX, evalY)
+	res.AccTrace = append(res.AccTrace, res.FinalAcc)
+	res.Converged = res.FinalAcc >= cfg.TargetAcc
+	res.Iterations = iters
+	res.Pulses = mn.TotalPulses() - pulsesBefore
+	res.Stress = mn.TotalStress() - stressBefore
+	return res, nil
+}
+
+// step performs one tuning iteration: estimate gradients on batch b
+// through the effective-weight network, then pulse the devices with the
+// globally largest gradient magnitudes one level in the -sign(grad)
+// direction (eq. (5)). The threshold is shared across layers, so layers
+// whose weights see larger gradients — convolutional kernels, whose
+// gradients sum over all spatial positions — receive more pulses and
+// age faster, reproducing the conv-vs-FC asymmetry of Fig. 11.
+func step(mn *crossbar.MappedNetwork, b dataset.Batch, frac float64) {
+	mn.Refresh()
+	mn.Net.ZeroGrads()
+	logits := mn.Net.Forward(b.X, true)
+	_, dlogits := nn.SoftmaxCrossEntropy(logits, b.Y)
+	mn.Net.Backward(dlogits)
+
+	total := 0
+	for _, l := range mn.Layers {
+		total += l.Param.Grad.Size()
+	}
+	all := make([]float64, 0, total)
+	for _, l := range mn.Layers {
+		all = append(all, l.Param.Grad.Data()...)
+	}
+	k := int(float64(total) * frac)
+	if k < 1 {
+		k = 1
+	}
+	thr := kthLargestAbs(all, k)
+	if thr == 0 {
+		return // gradient vanished; nothing to tune
+	}
+	for _, l := range mn.Layers {
+		pulseLayer(l, thr)
+	}
+}
+
+// pulseLayer applies sign pulses to every device of the layer whose
+// gradient magnitude reaches the global threshold.
+func pulseLayer(l *crossbar.MappedLayer, thr float64) {
+	g := l.Param.Grad.Data()
+	cols := l.Crossbar.Cols
+	for idx, gv := range g {
+		a := gv
+		if a < 0 {
+			a = -a
+		}
+		if a < thr || a == 0 {
+			continue
+		}
+		dir := -1
+		if gv < 0 {
+			dir = +1
+		}
+		l.Crossbar.StepDevice(idx/cols, idx%cols, dir)
+	}
+}
+
+// kthLargestAbs returns the k-th largest absolute value in g (1-based).
+func kthLargestAbs(g []float64, k int) float64 {
+	abs := make([]float64, len(g))
+	for i, v := range g {
+		if v < 0 {
+			v = -v
+		}
+		abs[i] = v
+	}
+	sort.Float64s(abs)
+	idx := len(abs) - k
+	if idx < 0 {
+		idx = 0
+	}
+	return abs[idx]
+}

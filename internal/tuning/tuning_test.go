@@ -1,0 +1,166 @@
+package tuning
+
+import (
+	"testing"
+
+	"memlife/internal/aging"
+	"memlife/internal/crossbar"
+	"memlife/internal/dataset"
+	"memlife/internal/device"
+	"memlife/internal/mapping"
+	"memlife/internal/nn"
+	"memlife/internal/tensor"
+	"memlife/internal/train"
+)
+
+// fixture returns a trained, freshly mapped network with train dataset
+// and an eval batch.
+func fixture(t *testing.T) (*crossbar.MappedNetwork, *dataset.Dataset, *tensor.Tensor, []int) {
+	t.Helper()
+	cfg := dataset.SynthConfig{Classes: 4, TrainN: 160, TestN: 60, C: 3, H: 8, W: 8, Noise: 0.15, Seed: 51}
+	trainDS, testDS := dataset.MustGenerate(cfg)
+	net, err := nn.NewMLP("m", []int{trainDS.SampleSize(), 20, 4}, tensor.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := train.Train(net, trainDS, testDS, train.Config{
+		Epochs: 6, BatchSize: 16, LR: 0.02, Momentum: 0.9, Seed: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mn, err := crossbar.NewMappedNetwork(net, device.Params32(), aging.DefaultModel(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mapping.Map(mn, mapping.Config{Policy: mapping.Fresh}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	b := trainDS.Batches(trainDS.Len(), nil)[0]
+	return mn, trainDS, b.X, b.Y
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := Config{MaxIters: 150, TargetAcc: 0.9, BatchSize: 16}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []Config{
+		{MaxIters: 0, TargetAcc: 0.9, BatchSize: 16},
+		{MaxIters: 10, TargetAcc: 0, BatchSize: 16},
+		{MaxIters: 10, TargetAcc: 1.5, BatchSize: 16},
+		{MaxIters: 10, TargetAcc: 0.9, BatchSize: 0},
+		{MaxIters: 10, TargetAcc: 0.9, BatchSize: 16, StepFrac: 2},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d: config %+v should be rejected", i, c)
+		}
+	}
+}
+
+func TestTuneConvergesImmediatelyWhenTargetMet(t *testing.T) {
+	mn, ds, x, y := fixture(t)
+	acc := mn.Accuracy(x, y)
+	res, err := Tune(mn, ds, x, y, Config{MaxIters: 150, TargetAcc: acc - 0.01, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations != 0 {
+		t.Fatalf("already-good network must converge in 0 iterations, got %+v", res)
+	}
+	if res.Pulses != 0 {
+		t.Fatal("zero-iteration tuning must not pulse devices")
+	}
+}
+
+// TestTuneRecoversFromPerturbation is the core behaviour: drift the
+// array, then verify tuning restores accuracy within budget and that the
+// pulses are accounted as stress.
+func TestTuneRecoversFromPerturbation(t *testing.T) {
+	mn, ds, x, y := fixture(t)
+	baseline := mn.Accuracy(x, y)
+
+	mn.Drift(0.10, tensor.NewRNG(4))
+	perturbed := mn.Accuracy(x, y)
+	if perturbed >= baseline {
+		t.Skipf("drift did not hurt accuracy (%.3f -> %.3f); nothing to recover", baseline, perturbed)
+	}
+
+	res, err := Tune(mn, ds, x, y, Config{MaxIters: 150, TargetAcc: baseline - 0.02, BatchSize: 32, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("tuning failed to recover: %+v", res)
+	}
+	if res.FinalAcc < perturbed {
+		t.Fatalf("tuning made accuracy worse: %.3f -> %.3f", perturbed, res.FinalAcc)
+	}
+	if res.Pulses == 0 || res.Stress <= 0 {
+		t.Fatalf("recovery must cost pulses and stress, got %+v", res)
+	}
+	if len(res.AccTrace) != res.Iterations+1 {
+		t.Fatalf("AccTrace length %d, want iterations+1 = %d", len(res.AccTrace), res.Iterations+1)
+	}
+}
+
+func TestTuneFailsOnImpossibleTarget(t *testing.T) {
+	mn, ds, x, y := fixture(t)
+	res, err := Tune(mn, ds, x, y, Config{MaxIters: 3, TargetAcc: 1.0, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged && res.FinalAcc < 1.0 {
+		t.Fatal("non-perfect accuracy cannot report convergence to 1.0")
+	}
+	if !res.Converged && res.Iterations != 3 {
+		t.Fatalf("failed run must consume the whole budget, got %d", res.Iterations)
+	}
+}
+
+func TestTuningAgesTheArray(t *testing.T) {
+	mn, ds, x, y := fixture(t)
+	stressBefore := mn.TotalStress()
+	mn.Drift(0.3, tensor.NewRNG(5))
+	res, err := Tune(mn, ds, x, y, Config{MaxIters: 10, TargetAcc: 1.0, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 0 && mn.TotalStress() <= stressBefore {
+		t.Fatal("tuning pulses must age the array")
+	}
+	if res.Iterations == 0 {
+		t.Fatal("heavy drift with a perfect target must force tuning work")
+	}
+}
+
+func TestKthLargestAbs(t *testing.T) {
+	g := []float64{-5, 1, 3, -2, 4}
+	if got := kthLargestAbs(g, 1); got != 5 {
+		t.Fatalf("k=1: got %g, want 5", got)
+	}
+	if got := kthLargestAbs(g, 3); got != 3 {
+		t.Fatalf("k=3: got %g, want 3", got)
+	}
+	if got := kthLargestAbs(g, 10); got != 1 {
+		t.Fatalf("k beyond length must clamp to min abs, got %g", got)
+	}
+}
+
+func TestStepFracLimitsPulsedDevices(t *testing.T) {
+	mnA, dsA, xA, yA := fixture(t)
+	mnA.Drift(0.08, tensor.NewRNG(6))
+	resA, err := Tune(mnA, dsA, xA, yA, Config{MaxIters: 5, TargetAcc: 0.999, BatchSize: 16, StepFrac: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mnB, dsB, xB, yB := fixture(t)
+	mnB.Drift(0.08, tensor.NewRNG(6))
+	resB, err := Tune(mnB, dsB, xB, yB, Config{MaxIters: 5, TargetAcc: 0.999, BatchSize: 16, StepFrac: 0.8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Pulses >= resB.Pulses {
+		t.Fatalf("StepFrac 0.05 pulses (%d) must be below StepFrac 0.8 pulses (%d)", resA.Pulses, resB.Pulses)
+	}
+}
