@@ -24,27 +24,47 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI entry point: it parses args, executes the
+// requested experiments, and returns the process exit code. User errors
+// (unknown experiment id, conflicting flags) produce a one-line message
+// on stderr and a non-zero code — never a stack trace.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("memlife", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		list   = flag.Bool("list", false, "list available experiments")
-		run    = flag.String("run", "", "comma-separated experiment ids to run")
-		all    = flag.Bool("all", false, "run every experiment")
-		fast   = flag.Bool("fast", false, "use reduced sizes/budgets (seconds instead of minutes)")
-		seed   = flag.Int64("seed", 1, "random seed")
-		verb   = flag.Bool("v", false, "log progress to stderr")
-		outDir = flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
+		list   = fs.Bool("list", false, "list available experiments")
+		runIDs = fs.String("run", "", "comma-separated experiment ids to run")
+		all    = fs.Bool("all", false, "run every experiment")
+		fast   = fs.Bool("fast", false, "use reduced sizes/budgets (seconds instead of minutes)")
+		seed   = fs.Int64("seed", 1, "random seed")
+		verb   = fs.Bool("v", false, "log progress to stderr")
+		outDir = fs.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "memlife: unexpected argument %q (experiments are selected with -run)\n", fs.Arg(0))
+		return 2
+	}
+	if *all && *runIDs != "" {
+		fmt.Fprintln(stderr, "memlife: -all and -run are mutually exclusive")
+		return 2
+	}
 
 	switch {
 	case *list:
 		for _, e := range experiments.All() {
-			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-18s %s\n", e.ID, e.Title)
 		}
-		return
-	case *all || *run != "":
+		return 0
+	case *all || *runIDs != "":
 		opt := experiments.Options{Fast: *fast, Seed: *seed}
 		if *verb {
-			opt.Log = os.Stderr
+			opt.Log = stderr
 		}
 		var ids []string
 		if *all {
@@ -52,47 +72,47 @@ func main() {
 				ids = append(ids, e.ID)
 			}
 		} else {
-			ids = strings.Split(*run, ",")
+			ids = strings.Split(*runIDs, ",")
 		}
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
-				fmt.Fprintf(os.Stderr, "memlife: creating -out dir: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "memlife: creating -out dir: %v\n", err)
+				return 1
 			}
 		}
 		for _, id := range ids {
 			id = strings.TrimSpace(id)
 			e, ok := experiments.ByID(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "memlife: unknown experiment %q (try -list)\n", id)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "memlife: unknown experiment %q (try -list)\n", id)
+				return 1
 			}
-			var w io.Writer = os.Stdout
+			w := stdout
 			var f *os.File
 			if *outDir != "" {
 				var err error
 				f, err = os.Create(filepath.Join(*outDir, id+".txt"))
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "memlife: %v\n", err)
-					os.Exit(1)
+					fmt.Fprintf(stderr, "memlife: %v\n", err)
+					return 1
 				}
-				w = io.MultiWriter(os.Stdout, f)
+				w = io.MultiWriter(stdout, f)
 			}
-			fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "=== %s: %s ===\n", e.ID, e.Title)
 			start := time.Now()
 			err := e.Run(w, opt)
 			if f != nil {
 				f.Close()
 			}
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "memlife: %s failed: %v\n", e.ID, err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "memlife: %s failed: %v\n", e.ID, err)
+				return 1
 			}
-			fmt.Printf("=== %s done in %s ===\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(stdout, "=== %s done in %s ===\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
-		return
+		return 0
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 }

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunCLIErrors locks the CLI's user-error behavior: one-line
+// diagnostics on stderr and distinct non-zero exit codes, never a
+// panic or stack trace.
+func TestRunCLIErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string // substring of stderr; empty means stderr unchecked
+	}{
+		{"unknown experiment", []string{"-run", "no-such-experiment"}, 1, `unknown experiment "no-such-experiment"`},
+		{"all and run conflict", []string{"-all", "-run", "table1"}, 2, "mutually exclusive"},
+		{"undefined flag", []string{"-bogus"}, 2, ""},
+		{"stray positional arg", []string{"-fast", "table1"}, 2, `unexpected argument "table1"`},
+		{"no action", []string{"-fast"}, 2, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("run(%v) = %d, want %d (stderr: %s)", tc.args, code, tc.wantCode, stderr.String())
+			}
+			if tc.wantErr != "" && !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Fatalf("stderr %q must contain %q", stderr.String(), tc.wantErr)
+			}
+			if n := strings.Count(strings.TrimSpace(stderr.String()), "\n"); tc.wantErr != "" && n > 0 {
+				t.Fatalf("user error must be a one-line message, got %d extra lines:\n%s", n, stderr.String())
+			}
+		})
+	}
+}
+
+// TestRunCLIList smoke-tests the success path that needs no training.
+func TestRunCLIList(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, stderr.String())
+	}
+	for _, id := range []string{"table1", "fault-sweep"} {
+		if !strings.Contains(stdout.String(), id) {
+			t.Fatalf("-list output must mention %s:\n%s", id, stdout.String())
+		}
+	}
+}

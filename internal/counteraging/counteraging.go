@@ -143,15 +143,15 @@ type RowSwapper struct {
 }
 
 // NewRowSwapper returns the identity assignment for rows rows.
-func NewRowSwapper(rows int) *RowSwapper {
+func NewRowSwapper(rows int) (*RowSwapper, error) {
 	if rows < 1 {
-		panic(fmt.Sprintf("counteraging: need at least one row, got %d", rows))
+		return nil, fmt.Errorf("counteraging: need at least one row, got %d", rows)
 	}
 	perm := make([]int, rows)
 	for i := range perm {
 		perm[i] = i
 	}
-	return &RowSwapper{Perm: perm}
+	return &RowSwapper{Perm: perm}, nil
 }
 
 // rowStress returns the summed device stress of each physical row.
@@ -188,9 +188,9 @@ func rowDemand(w [][]float64) []float64 {
 // with the highest programming demand goes to the physical row with the
 // lowest accumulated stress, and so on. It returns the number of
 // logical rows whose physical assignment changed.
-func (s *RowSwapper) Rebalance(cb *crossbar.Crossbar, weights [][]float64) int {
+func (s *RowSwapper) Rebalance(cb *crossbar.Crossbar, weights [][]float64) (int, error) {
 	if len(weights) != len(s.Perm) {
-		panic(fmt.Sprintf("counteraging: %d logical rows vs permutation of %d", len(weights), len(s.Perm)))
+		return 0, fmt.Errorf("counteraging: %d logical rows vs permutation of %d", len(weights), len(s.Perm))
 	}
 	stress := rowStress(cb)
 	demand := rowDemand(weights)
@@ -220,7 +220,7 @@ func (s *RowSwapper) Rebalance(cb *crossbar.Crossbar, weights [][]float64) int {
 		}
 	}
 	s.Perm = newPerm
-	return changed
+	return changed, nil
 }
 
 // PermuteRows returns weights reordered so row i of the result is the

@@ -94,7 +94,10 @@ func newTestArray(t *testing.T, rows, cols int) *crossbar.Crossbar {
 }
 
 func TestRowSwapperIdentityStart(t *testing.T) {
-	s := NewRowSwapper(4)
+	s, err := NewRowSwapper(4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, p := range s.Perm {
 		if p != i {
 			t.Fatal("swapper must start as identity")
@@ -125,8 +128,14 @@ func TestRowSwapperRebalances(t *testing.T) {
 		{0.0, 0.9, 0.9},
 		{0.3, 0.3, 0.3},
 	}
-	s := NewRowSwapper(4)
-	changed := s.Rebalance(cb, weights)
+	s, err := NewRowSwapper(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed, err := s.Rebalance(cb, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if changed == 0 {
 		t.Fatal("uneven stress must trigger reassignment")
 	}
@@ -166,10 +175,15 @@ func TestRowSwappingEqualizesWear(t *testing.T) {
 				weights[i][j] = rng.Float64() * float64(i) / 5.0
 			}
 		}
-		s := NewRowSwapper(6)
+		s, err := NewRowSwapper(6)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for epoch := 0; epoch < 8; epoch++ {
 			if swap {
-				s.Rebalance(cb, weights)
+				if _, err := s.Rebalance(cb, weights); err != nil {
+					t.Fatal(err)
+				}
 			}
 			phys := s.PermuteRows(weights)
 			flat := tensor.New(6, 4)
@@ -207,10 +221,15 @@ func TestRowSwappingEqualizesWear(t *testing.T) {
 }
 
 func TestRowSwapperValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for zero rows")
-		}
-	}()
-	NewRowSwapper(0)
+	if _, err := NewRowSwapper(0); err == nil {
+		t.Fatal("expected error for zero rows")
+	}
+	s, err := NewRowSwapper(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := newTestArray(t, 3, 2)
+	if _, err := s.Rebalance(cb, [][]float64{{0, 0}}); err == nil {
+		t.Fatal("expected error for logical/physical row mismatch")
+	}
 }

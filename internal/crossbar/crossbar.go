@@ -12,6 +12,7 @@ import (
 
 	"memlife/internal/aging"
 	"memlife/internal/device"
+	"memlife/internal/fault"
 	"memlife/internal/tensor"
 )
 
@@ -26,6 +27,12 @@ type Crossbar struct {
 	tempK  float64
 
 	devices []*device.Device
+
+	// inj, when non-nil, injects device faults: it decides transient
+	// programming failures on the pulse path and read-noise bursts on
+	// the readback path, and supplies the wear-out hazard consulted by
+	// AdvanceFaults. See internal/fault.
+	inj *fault.Injector
 
 	// traceStride is the spacing of the representative traced devices
 	// (Section IV-B traces the center of every traceStride x
@@ -73,12 +80,14 @@ func (c *Crossbar) Model() aging.Model { return c.model }
 // TempK returns the operating temperature.
 func (c *Crossbar) TempK() float64 { return c.tempK }
 
-// SetTempK changes the operating temperature (K).
-func (c *Crossbar) SetTempK(t float64) {
+// SetTempK changes the operating temperature (K). It returns an error
+// for non-positive temperatures and leaves the crossbar unchanged.
+func (c *Crossbar) SetTempK(t float64) error {
 	if t <= 0 {
-		panic(fmt.Sprintf("crossbar: temperature must be positive, got %g", t))
+		return fmt.Errorf("crossbar: temperature must be positive, got %g", t)
 	}
 	c.tempK = t
+	return nil
 }
 
 // Device returns the device at row i, column j.
@@ -131,6 +140,8 @@ type MapStats struct {
 	Pulses  int
 	Stress  float64
 	Clipped int // devices whose target fell outside their aged window
+	Stuck   int // write attempts that hit a permanently stuck device
+	Skipped int // stuck devices excluded up front (fault-aware mapping)
 }
 
 // MapWeights programs the trained weight matrix w (shape [Rows, Cols])
@@ -160,6 +171,9 @@ func (c *Crossbar) MapWeights(w *tensor.Tensor, rLo, rHi float64) MapStats {
 			if res.Clipped {
 				stats.Clipped++
 			}
+			if res.Stuck {
+				stats.Stuck++
+			}
 		}
 	}
 	return stats
@@ -167,15 +181,26 @@ func (c *Crossbar) MapWeights(w *tensor.Tensor, rLo, rHi float64) MapStats {
 
 // EffectiveWeights reads back the weight matrix the array actually
 // implements, given its programmed resistances and the current mapping
-// ranges. Panics if the array has never been mapped.
+// ranges. Stuck devices read at their pinned resistance, so the
+// returned matrix is the fault-aware truth of what the hardware
+// computes. When a fault injector is attached, an occasional read-noise
+// burst perturbs the whole readback multiplicatively without touching
+// device state. Panics if the array has never been mapped.
 func (c *Crossbar) EffectiveWeights() *tensor.Tensor {
 	if !c.mapped {
 		panic("crossbar: EffectiveWeights before MapWeights")
+	}
+	burst, sigma := false, 0.0
+	if c.inj != nil {
+		burst, sigma = c.inj.ReadBurst()
 	}
 	out := tensor.New(c.Rows, c.Cols)
 	for i := 0; i < c.Rows; i++ {
 		for j := 0; j < c.Cols; j++ {
 			r := c.Device(i, j).Resistance()
+			if burst {
+				r *= c.inj.ReadNoise(sigma)
+			}
 			out.Set(EffectiveWeight(r, c.wMin, c.wMax, c.rLo, c.rHi), i, j)
 		}
 	}
@@ -197,10 +222,22 @@ func (c *Crossbar) VMM(x *tensor.Tensor) *tensor.Tensor {
 // dir < 0 decreases it. Tuning pulses move the analog conductance by a
 // small fixed increment (device.Params.TunePulseDeltaG), bounded by the
 // device's aged window intersected with the fresh grid (the periphery
-// cannot program beyond the fresh range). It returns the stress added.
-func (c *Crossbar) StepDevice(i, j, dir int) float64 {
+// cannot program beyond the fresh range).
+//
+// It returns the stress added and whether the pulse actually took:
+// applied is false when the device is permanently stuck or when the
+// attached fault injector made the pulse fail transiently. A failed
+// pulse still costs its full stress — retries are never free.
+func (c *Crossbar) StepDevice(i, j, dir int) (stress float64, applied bool) {
 	if dir == 0 {
-		return 0
+		return 0, false
+	}
+	d := c.Device(i, j)
+	if d.Stuck() {
+		return d.FailedPulse(), false
+	}
+	if c.inj != nil && c.inj.PulseFails() {
+		return d.FailedPulse(), false
 	}
 	lo, hi := c.AgedBounds(i, j)
 	if lo < c.params.RminFresh {
@@ -209,7 +246,7 @@ func (c *Crossbar) StepDevice(i, j, dir int) float64 {
 	if hi < lo {
 		hi = lo
 	}
-	return c.Device(i, j).Pulse(dir, lo, hi)
+	return d.Pulse(dir, lo, hi), true
 }
 
 // RandomizeAging assigns every device a lognormal endurance-variability

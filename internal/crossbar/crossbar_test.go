@@ -175,8 +175,8 @@ func TestStepDeviceDirection(t *testing.T) {
 	w := tensor.FromSlice([]float64{-1, 0, 1}, 3, 1)
 	cb.MapWeights(w, p.RminFresh, p.RmaxFresh)
 	r0 := cb.Device(1, 0).Resistance()
-	if s := cb.StepDevice(1, 0, +1); s <= 0 { // weight up -> resistance down
-		t.Fatal("mid-grid step must cost stress")
+	if s, applied := cb.StepDevice(1, 0, +1); s <= 0 || !applied { // weight up -> resistance down
+		t.Fatal("mid-grid step must cost stress and apply")
 	}
 	r1 := cb.Device(1, 0).Resistance()
 	if r1 >= r0 {
@@ -187,7 +187,7 @@ func TestStepDeviceDirection(t *testing.T) {
 	if r2 <= r1 {
 		t.Fatalf("negative step must raise resistance: %g -> %g", r1, r2)
 	}
-	if s := cb.StepDevice(1, 0, 0); s != 0 {
+	if s, applied := cb.StepDevice(1, 0, 0); s != 0 || applied {
 		t.Fatal("zero step must be free")
 	}
 }

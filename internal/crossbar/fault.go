@@ -1,0 +1,270 @@
+package crossbar
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"memlife/internal/aging"
+	"memlife/internal/device"
+	"memlife/internal/fault"
+	"memlife/internal/tensor"
+)
+
+// SetFaultInjector attaches a fault injector to the array and applies
+// its initial (manufacturing-defect) stuck faults to the devices. The
+// injector must have been built for exactly Rows*Cols devices. Pass a
+// nil injector to detach fault injection (existing stuck devices stay
+// stuck — hard faults are permanent).
+func (c *Crossbar) SetFaultInjector(inj *fault.Injector) error {
+	if inj != nil && inj.N() != c.Rows*c.Cols {
+		return fmt.Errorf("crossbar: injector built for %d devices, array has %d", inj.N(), c.Rows*c.Cols)
+	}
+	c.inj = inj
+	if inj == nil {
+		return nil
+	}
+	for idx, d := range c.devices {
+		if k := inj.InitialFault(idx); k != device.FaultNone {
+			d.SetFault(k)
+		}
+	}
+	return nil
+}
+
+// FaultInjector returns the attached injector (nil when fault
+// injection is off).
+func (c *Crossbar) FaultInjector() *fault.Injector { return c.inj }
+
+// IsStuck reports whether device (i, j) is permanently stuck.
+func (c *Crossbar) IsStuck(i, j int) bool { return c.Device(i, j).Stuck() }
+
+// FaultMap returns a row-major snapshot of every device's fault state —
+// the map a fault-aware controller maintains from write-verify
+// feedback.
+func (c *Crossbar) FaultMap() []device.FaultKind {
+	out := make([]device.FaultKind, len(c.devices))
+	for i, d := range c.devices {
+		out[i] = d.Fault()
+	}
+	return out
+}
+
+// StuckCounts tallies the permanently stuck devices by polarity.
+func (c *Crossbar) StuckCounts() (lrs, hrs int) {
+	for _, d := range c.devices {
+		switch d.Fault() {
+		case device.FaultStuckLRS:
+			lrs++
+		case device.FaultStuckHRS:
+			hrs++
+		}
+	}
+	return lrs, hrs
+}
+
+// AdvanceFaults applies the aging-correlated wear-out hazard: every
+// healthy device whose accumulated stress has crossed its drawn
+// capacity becomes permanently stuck (heavily stressed devices fail
+// first). It returns the number of newly stuck devices. A no-op
+// without an injector or with wear-out disabled.
+func (c *Crossbar) AdvanceFaults() int {
+	if c.inj == nil {
+		return 0
+	}
+	newly := 0
+	for idx, d := range c.devices {
+		if d.Stuck() {
+			continue
+		}
+		if k := c.inj.WearOutFault(idx, d.Stress()); k != device.FaultNone {
+			d.SetFault(k)
+			newly++
+		}
+	}
+	return newly
+}
+
+// TracedUpperBoundsHealthy returns the estimated aged upper resistance
+// bounds of the traced devices that are not stuck, sorted ascending —
+// the candidate set the fault-aware range selection draws from: a
+// stuck device's "bound" says nothing about the programmable range of
+// its healthy neighbors. Falls back to all traced bounds when every
+// traced device is stuck (the selection must still produce a range).
+func (c *Crossbar) TracedUpperBoundsHealthy() []float64 {
+	idx := c.TracedIndices()
+	out := make([]float64, 0, len(idx))
+	for _, ij := range idx {
+		if c.IsStuck(ij[0], ij[1]) {
+			continue
+		}
+		_, hi := c.AgedBounds(ij[0], ij[1])
+		out = append(out, hi)
+	}
+	if len(out) == 0 {
+		return c.TracedUpperBounds()
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// MapWeightsFaultAware programs the weight matrix like MapWeights but
+// tolerates the array's stuck devices instead of fighting them:
+//
+//   - Stuck devices are skipped outright — no write pulses are wasted
+//     on cells the fault map knows cannot move.
+//   - Each column's stuck-device current error is compensated by the
+//     column's healthy devices: a stuck cell contributes a fixed
+//     effective weight, so the difference between that contribution
+//     and the cell's intended weight is spread evenly over the
+//     healthy cells of the same column (column currents sum, so the
+//     correction is exact for uniform inputs and first-order for the
+//     rest).
+//
+// Without any stuck devices it behaves exactly like MapWeights.
+func (c *Crossbar) MapWeightsFaultAware(w *tensor.Tensor, rLo, rHi float64) MapStats {
+	if w.Dim(0) != c.Rows || w.Dim(1) != c.Cols {
+		panic(fmt.Sprintf("crossbar: weight shape %v, want [%d %d]", w.Shape(), c.Rows, c.Cols))
+	}
+	if rLo <= 0 || rHi <= rLo {
+		panic(fmt.Sprintf("crossbar: invalid mapping range [%g, %g]", rLo, rHi))
+	}
+	wMin, wMax := w.MinMax()
+	c.wMin, c.wMax = wMin, wMax
+	c.rLo, c.rHi = rLo, rHi
+	c.mapped = true
+
+	// Per-column compensation offsets for the healthy devices.
+	comp := make([]float64, c.Cols)
+	for j := 0; j < c.Cols; j++ {
+		errSum := 0.0
+		healthy := 0
+		for i := 0; i < c.Rows; i++ {
+			d := c.Device(i, j)
+			if d.Stuck() {
+				errSum += EffectiveWeight(d.Resistance(), wMin, wMax, rLo, rHi) - w.At(i, j)
+			} else {
+				healthy++
+			}
+		}
+		if healthy > 0 {
+			comp[j] = -errSum / float64(healthy)
+		}
+	}
+
+	var stats MapStats
+	for i := 0; i < c.Rows; i++ {
+		for j := 0; j < c.Cols; j++ {
+			if c.Device(i, j).Stuck() {
+				stats.Skipped++
+				continue
+			}
+			target := TargetResistance(w.At(i, j)+comp[j], wMin, wMax, rLo, rHi)
+			lo, hi := c.AgedBounds(i, j)
+			res := c.Device(i, j).Program(target, lo, hi)
+			stats.Pulses += res.Pulses
+			stats.Stress += res.Stress
+			if res.Clipped {
+				stats.Clipped++
+			}
+		}
+	}
+	return stats
+}
+
+// CampaignPoint is one stuck-rate operating point of a FaultCampaign:
+// the realized fault population and the weight-representation error of
+// a plain (fault-unaware) mapping versus the fault-aware mapping of
+// the same matrix under the same faults.
+type CampaignPoint struct {
+	StuckRate          float64
+	StuckLRS, StuckHRS int
+	// PlainRMSE / AwareRMSE are the root-mean-square differences
+	// between the target weights and the effective weights realized by
+	// MapWeights / MapWeightsFaultAware. Note that column-current
+	// compensation deliberately perturbs healthy weights, so the aware
+	// elementwise RMSE can sit slightly ABOVE the plain one — that is
+	// the cost side of the trade.
+	PlainRMSE, AwareRMSE float64
+	// PlainColErr / AwareColErr are the root-mean-square per-column
+	// current errors (the column sums of effective minus target
+	// weights — exactly what a VMM output sees under uniform inputs,
+	// and what the compensation targets). This is the benefit side:
+	// AwareColErr should sit well below PlainColErr once devices
+	// stick.
+	PlainColErr, AwareColErr float64
+	// PlainStuckWrites counts write attempts the fault-unaware mapping
+	// wasted on stuck devices.
+	PlainStuckWrites int
+}
+
+// FaultCampaign sweeps stuck-device rates over fresh arrays carrying
+// the weight matrix w: for each rate it injects the (nested,
+// deterministic) stuck population, maps w once fault-unaware and once
+// fault-aware onto identically faulted arrays, and reports the fault
+// census plus both weight-representation errors. Read bursts are
+// disabled during the campaign readback so the numbers measure mapping
+// quality, not read noise.
+func FaultCampaign(w *tensor.Tensor, p device.Params, m aging.Model, tempK float64, cfg fault.Config, rates []float64) ([]CampaignPoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rows, cols := w.Dim(0), w.Dim(1)
+	out := make([]CampaignPoint, 0, len(rates))
+	for _, rate := range rates {
+		pointCfg := cfg
+		pointCfg.StuckRate = rate
+		pointCfg.ReadBurstProb = 0
+		pointCfg.TransientProb = 0
+
+		rmse := func(aware bool) (float64, float64, CampaignPoint, error) {
+			cb, err := New(rows, cols, p, m, tempK)
+			if err != nil {
+				return 0, 0, CampaignPoint{}, err
+			}
+			inj, err := fault.NewInjector(pointCfg, rows*cols, 0)
+			if err != nil {
+				return 0, 0, CampaignPoint{}, err
+			}
+			if err := cb.SetFaultInjector(inj); err != nil {
+				return 0, 0, CampaignPoint{}, err
+			}
+			var stats MapStats
+			if aware {
+				stats = cb.MapWeightsFaultAware(w, p.RminFresh, p.RmaxFresh)
+			} else {
+				stats = cb.MapWeights(w, p.RminFresh, p.RmaxFresh)
+			}
+			eff := cb.EffectiveWeights()
+			sum := 0.0
+			colErr := make([]float64, cols)
+			for i, v := range eff.Data() {
+				d := v - w.Data()[i]
+				sum += d * d
+				colErr[i%cols] += d
+			}
+			colSum := 0.0
+			for _, e := range colErr {
+				colSum += e * e
+			}
+			pt := CampaignPoint{StuckRate: rate, PlainStuckWrites: stats.Stuck}
+			pt.StuckLRS, pt.StuckHRS = cb.StuckCounts()
+			elemRMSE := math.Sqrt(sum / float64(len(eff.Data())))
+			colRMSE := math.Sqrt(colSum / float64(cols))
+			return elemRMSE, colRMSE, pt, nil
+		}
+
+		plain, plainCol, pt, err := rmse(false)
+		if err != nil {
+			return nil, err
+		}
+		awareRMSE, awareCol, _, err := rmse(true)
+		if err != nil {
+			return nil, err
+		}
+		pt.PlainRMSE, pt.AwareRMSE = plain, awareRMSE
+		pt.PlainColErr, pt.AwareColErr = plainCol, awareCol
+		out = append(out, pt)
+	}
+	return out, nil
+}

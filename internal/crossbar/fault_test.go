@@ -1,0 +1,224 @@
+package crossbar
+
+import (
+	"math"
+	"testing"
+
+	"memlife/internal/aging"
+	"memlife/internal/device"
+	"memlife/internal/fault"
+	"memlife/internal/tensor"
+)
+
+func newFaultArray(t *testing.T, rows, cols int, cfg fault.Config) *Crossbar {
+	t.Helper()
+	cb, err := New(rows, cols, device.Params32(), aging.DefaultModel(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := fault.NewInjector(cfg, rows*cols, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cb.SetFaultInjector(inj); err != nil {
+		t.Fatal(err)
+	}
+	return cb
+}
+
+func TestSetFaultInjectorSizeMismatch(t *testing.T) {
+	cb, err := New(4, 4, device.Params32(), aging.DefaultModel(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := fault.NewInjector(fault.Config{StuckRate: 0.1}, 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cb.SetFaultInjector(inj); err == nil {
+		t.Fatal("injector of the wrong size must be rejected")
+	}
+}
+
+func TestInitialFaultsApplied(t *testing.T) {
+	cfg := fault.Config{StuckRate: 0.3, LRSFrac: 1.0, Seed: 3}
+	cb := newFaultArray(t, 20, 20, cfg)
+	lrs, hrs := cb.StuckCounts()
+	if lrs == 0 {
+		t.Fatal("a 30% stuck rate must produce stuck devices")
+	}
+	if hrs != 0 {
+		t.Fatalf("LRSFrac=1 must produce no HRS faults, got %d", hrs)
+	}
+	p := cb.Params()
+	seen := 0
+	for i := 0; i < cb.Rows; i++ {
+		for j := 0; j < cb.Cols; j++ {
+			if !cb.IsStuck(i, j) {
+				continue
+			}
+			seen++
+			if r := cb.Device(i, j).Resistance(); r != p.RminFresh {
+				t.Fatalf("stuck-at-LRS device (%d,%d) must pin at RminFresh, got %g", i, j, r)
+			}
+		}
+	}
+	if seen != lrs {
+		t.Fatalf("IsStuck count %d disagrees with StuckCounts %d", seen, lrs)
+	}
+	// FaultMap agrees with the per-device view.
+	m := cb.FaultMap()
+	for idx, k := range m {
+		if (k != device.FaultNone) != cb.IsStuck(idx/cb.Cols, idx%cb.Cols) {
+			t.Fatalf("FaultMap entry %d disagrees with IsStuck", idx)
+		}
+	}
+}
+
+// TestStuckDeviceIgnoresProgramming locks the permanence of hard
+// faults: pulses and drift leave a stuck device's resistance pinned,
+// while failed pulses still accumulate stress (no free writes).
+func TestStuckDeviceIgnoresProgramming(t *testing.T) {
+	cfg := fault.Config{StuckRate: 0.5, LRSFrac: 1.0, Seed: 1}
+	cb := newFaultArray(t, 10, 10, cfg)
+	var si, sj int
+	found := false
+	for i := 0; i < cb.Rows && !found; i++ {
+		for j := 0; j < cb.Cols && !found; j++ {
+			if cb.IsStuck(i, j) {
+				si, sj = i, j
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no stuck device at 50% rate")
+	}
+	d := cb.Device(si, sj)
+	r0 := d.Resistance()
+	stress0 := d.Stress()
+	if s, applied := cb.StepDevice(si, sj, +1); applied || s <= 0 {
+		t.Fatalf("pulsing a stuck device must fail but still stress it (applied=%v stress=%g)", applied, s)
+	}
+	if d.Resistance() != r0 {
+		t.Fatal("stuck device moved under a pulse")
+	}
+	if d.Stress() <= stress0 {
+		t.Fatal("failed pulse must accumulate stress")
+	}
+	cb.Drift(0.2, tensor.NewRNG(9))
+	if d.Resistance() != r0 {
+		t.Fatal("stuck device moved under drift")
+	}
+}
+
+// TestFaultAwareMappingCompensates: with stuck devices present, the
+// fault-aware mapping must realize the column currents (what a VMM
+// output actually sees) with lower error than the plain mapping, waste
+// no writes on stuck cells, and degrade to identical behavior on a
+// clean array. Elementwise RMSE is allowed to be slightly worse — the
+// compensation deliberately perturbs healthy weights to fix the column
+// sums.
+func TestFaultAwareMappingCompensates(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	w := tensor.New(24, 16)
+	for i := range w.Data() {
+		w.Data()[i] = rng.Normal(0, 0.3)
+	}
+	pts, err := FaultCampaign(w, device.Params32(), aging.DefaultModel(), 300,
+		fault.Config{LRSFrac: 0.5, Seed: 2}, []float64{0, 0.05, 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("campaign points = %d, want 3", len(pts))
+	}
+	clean := pts[0]
+	if clean.StuckLRS+clean.StuckHRS != 0 {
+		t.Fatal("rate 0 must have no stuck devices")
+	}
+	if math.Abs(clean.PlainRMSE-clean.AwareRMSE) > 1e-12 ||
+		math.Abs(clean.PlainColErr-clean.AwareColErr) > 1e-12 {
+		t.Fatalf("on a clean array both mappings must agree: plain %g/%g vs aware %g/%g",
+			clean.PlainRMSE, clean.PlainColErr, clean.AwareRMSE, clean.AwareColErr)
+	}
+	for _, pt := range pts[1:] {
+		if pt.StuckLRS+pt.StuckHRS == 0 {
+			t.Fatalf("rate %g produced no stuck devices", pt.StuckRate)
+		}
+		if pt.AwareColErr >= pt.PlainColErr {
+			t.Fatalf("rate %g: fault-aware column error %g must beat plain %g",
+				pt.StuckRate, pt.AwareColErr, pt.PlainColErr)
+		}
+		if pt.PlainStuckWrites == 0 {
+			t.Fatalf("rate %g: plain mapping must have wasted writes on stuck cells", pt.StuckRate)
+		}
+	}
+	// Uncompensated column error grows with defect density.
+	if pts[2].PlainColErr <= clean.PlainColErr {
+		t.Fatalf("plain column error must grow with faults: %g vs clean %g",
+			pts[2].PlainColErr, clean.PlainColErr)
+	}
+}
+
+func TestTracedUpperBoundsHealthyExcludesStuck(t *testing.T) {
+	cfg := fault.Config{StuckRate: 0.4, LRSFrac: 1.0, Seed: 6}
+	cb := newFaultArray(t, 12, 12, cfg)
+	all := cb.TracedUpperBounds()
+	healthy := cb.TracedUpperBoundsHealthy()
+	if len(healthy) >= len(all) {
+		t.Fatalf("healthy bounds (%d) must be fewer than all traced bounds (%d)", len(healthy), len(all))
+	}
+	if len(healthy) == 0 {
+		t.Fatal("some traced devices must remain healthy at 40%")
+	}
+	for i := 1; i < len(healthy); i++ {
+		if healthy[i] < healthy[i-1] {
+			t.Fatal("healthy bounds must be sorted")
+		}
+	}
+}
+
+// TestAdvanceFaultsWearOut drives the hazard end-to-end: stressing the
+// array pushes devices over their capacity, AdvanceFaults converts them
+// to permanent faults, and the conversion is monotone.
+func TestAdvanceFaultsWearOut(t *testing.T) {
+	cfg := fault.Config{HazardScale: 3, HazardSpread: 0.3, Seed: 4}
+	cb := newFaultArray(t, 10, 10, cfg)
+	if n := cb.AdvanceFaults(); n != 0 {
+		t.Fatalf("fresh array must have no wear-out faults, got %d", n)
+	}
+	cb.AddStress(2.0)
+	first := cb.AdvanceFaults()
+	cb.AddStress(6.0)
+	second := cb.AdvanceFaults()
+	if first+second == 0 {
+		t.Fatal("heavy stress must wear out devices")
+	}
+	lrs, hrs := cb.StuckCounts()
+	if lrs+hrs != first+second {
+		t.Fatalf("stuck census %d disagrees with AdvanceFaults total %d", lrs+hrs, first+second)
+	}
+	if n := cb.AdvanceFaults(); n != 0 {
+		t.Fatalf("without new stress no further devices may fail, got %d", n)
+	}
+}
+
+func TestSetTempKRejectsNonPositive(t *testing.T) {
+	cb, err := New(3, 3, device.Params32(), aging.DefaultModel(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cb.SetTempK(0); err == nil {
+		t.Fatal("zero temperature must be rejected")
+	}
+	if err := cb.SetTempK(-10); err == nil {
+		t.Fatal("negative temperature must be rejected")
+	}
+	if err := cb.SetTempK(350); err != nil {
+		t.Fatalf("valid temperature rejected: %v", err)
+	}
+	if cb.TempK() != 350 {
+		t.Fatalf("temperature not applied: %g", cb.TempK())
+	}
+}

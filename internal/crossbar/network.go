@@ -5,6 +5,7 @@ import (
 
 	"memlife/internal/aging"
 	"memlife/internal/device"
+	"memlife/internal/fault"
 	"memlife/internal/nn"
 	"memlife/internal/tensor"
 )
@@ -76,11 +77,67 @@ func (m *MappedNetwork) MapLayer(i int, rLo, rHi float64) MapStats {
 	return l.Crossbar.MapWeights(l.Target, rLo, rHi)
 }
 
+// MapLayerFaultAware programs layer i's targets with stuck devices
+// skipped and compensated (Crossbar.MapWeightsFaultAware).
+func (m *MappedNetwork) MapLayerFaultAware(i int, rLo, rHi float64) MapStats {
+	l := m.Layers[i]
+	return l.Crossbar.MapWeightsFaultAware(l.Target, rLo, rHi)
+}
+
+// SetFaults builds one fault injector per crossbar from cfg and
+// attaches it, applying initial stuck faults. Each layer derives an
+// independent deterministic stream from cfg.Seed and its index, so the
+// network-wide fault map is a pure function of cfg.
+func (m *MappedNetwork) SetFaults(cfg fault.Config) error {
+	for i, l := range m.Layers {
+		n := l.Crossbar.Rows * l.Crossbar.Cols
+		inj, err := fault.NewInjector(cfg, n, int64(i)*1_000_003)
+		if err != nil {
+			return fmt.Errorf("crossbar: layer %s faults: %w", l.Name, err)
+		}
+		if err := l.Crossbar.SetFaultInjector(inj); err != nil {
+			return fmt.Errorf("crossbar: layer %s faults: %w", l.Name, err)
+		}
+	}
+	return nil
+}
+
+// AdvanceFaults applies the wear-out hazard on every crossbar,
+// returning the number of newly stuck devices network-wide.
+func (m *MappedNetwork) AdvanceFaults() int {
+	newly := 0
+	for _, l := range m.Layers {
+		newly += l.Crossbar.AdvanceFaults()
+	}
+	return newly
+}
+
+// StuckCounts tallies permanently stuck devices network-wide.
+func (m *MappedNetwork) StuckCounts() (lrs, hrs int) {
+	for _, l := range m.Layers {
+		a, b := l.Crossbar.StuckCounts()
+		lrs += a
+		hrs += b
+	}
+	return lrs, hrs
+}
+
+// DeviceCount returns the total number of devices across all crossbars.
+func (m *MappedNetwork) DeviceCount() int {
+	n := 0
+	for _, l := range m.Layers {
+		n += l.Crossbar.Rows * l.Crossbar.Cols
+	}
+	return n
+}
+
 // MapStatsTotal aggregates per-layer mapping stats.
 type MapStatsTotal struct {
 	Pulses  int
 	Stress  float64
 	Clipped int
+	Stuck   int
+	Skipped int
 }
 
 // MapAllFresh maps every layer using the fresh device range — the

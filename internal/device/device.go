@@ -41,7 +41,16 @@ type Params struct {
 	// StressDerate scales every pulse's stress contribution; counter-
 	// aging techniques that reduce the effective programming power
 	// (shaped pulses [9], series resistors [11]) express their benefit
-	// here. Zero means 1 (no derating).
+	// here.
+	//
+	// The zero value means 1 (no derating), so a plain
+	// device.Params32() literal ages at the nominal rate:
+	//
+	//	p := device.Params32()      // StressDerate == 0 -> factor 1
+	//	p.StressDerate = 0.5        // halve every pulse's stress
+	//
+	// Negative values are rejected by Validate; to disable derating,
+	// leave the field zero (or set it to exactly 1).
 	StressDerate float64
 }
 
@@ -202,6 +211,41 @@ func (p Params) PulseStress(r float64) float64 {
 	return (p.Vprog * p.Vprog / r * p.PulseWidth) / p.refPulseEnergy() * p.stressDerate()
 }
 
+// FaultKind classifies the permanent fault state of a device. Stuck-at
+// faults are the dominant hard-failure mode of filamentary RRAM: the
+// filament either fuses permanently (stuck-at-LRS, a short near the
+// lowest resistance) or ruptures permanently (stuck-at-HRS, pinned at
+// the highest resistance). A stuck device ignores programming pulses —
+// but pulses applied to it still dissipate power and are still paid
+// for by the periphery, so fault-unaware controllers waste both time
+// and write energy on dead cells.
+type FaultKind int
+
+const (
+	// FaultNone is a healthy, programmable device.
+	FaultNone FaultKind = iota
+	// FaultStuckLRS pins the device at its low-resistance state
+	// (maximum conductance) — the worst case for column currents.
+	FaultStuckLRS
+	// FaultStuckHRS pins the device at its high-resistance state
+	// (minimum conductance).
+	FaultStuckHRS
+)
+
+// String names the fault kind for reports.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultStuckLRS:
+		return "stuck-LRS"
+	case FaultStuckHRS:
+		return "stuck-HRS"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
 // Device is one memristor instance: its current programmed resistance
 // plus its irreversible programming history.
 type Device struct {
@@ -217,6 +261,9 @@ type Device struct {
 	agingFactor float64
 	// pulses counts programming pulses over the device lifetime.
 	pulses int64
+	// fault is the permanent fault state; a stuck device's resistance
+	// is pinned and programming no longer moves it.
+	fault FaultKind
 }
 
 // New returns a fresh device initialized to its highest resistance
@@ -255,10 +302,48 @@ func (d *Device) Stress() float64 { return d.stress }
 // Pulses returns the lifetime programming pulse count.
 func (d *Device) Pulses() int64 { return d.pulses }
 
+// Fault returns the device's permanent fault state.
+func (d *Device) Fault() FaultKind { return d.fault }
+
+// Stuck reports whether the device is permanently stuck.
+func (d *Device) Stuck() bool { return d.fault != FaultNone }
+
+// SetFault pins the device into the given permanent fault state:
+// stuck-at-LRS snaps the resistance to the fresh LRS (the fused
+// filament is a low-resistance short regardless of the aged window),
+// stuck-at-HRS to the fresh HRS. Setting FaultNone un-sticks the
+// device (used by tests); the resistance keeps its pinned value.
+func (d *Device) SetFault(k FaultKind) {
+	d.fault = k
+	switch k {
+	case FaultStuckLRS:
+		d.r = d.p.RminFresh
+	case FaultStuckHRS:
+		d.r = d.p.RmaxFresh
+	}
+}
+
+// FailedPulse accounts one programming pulse that did not take — a
+// transient programming failure, or a write attempt on a stuck device.
+// The pulse still dissipates the programming power at the device's
+// present state, so stress and the pulse count accumulate exactly as
+// for a successful pulse; only the resistance stays put. Retried
+// pulses are therefore never free. It returns the stress added.
+func (d *Device) FailedPulse() float64 {
+	s := d.p.PulseStress(d.r) * d.agingFactor
+	d.stress += s
+	d.pulses++
+	return s
+}
+
 // Drift perturbs the resistance without programming (the recoverable
 // read-disturb drift of [8], distinct from aging). The resistance stays
-// within [lo, hi].
+// within [lo, hi]. A stuck device does not drift: its filament state is
+// locked.
 func (d *Device) Drift(delta, lo, hi float64) {
+	if d.Stuck() {
+		return
+	}
 	d.r += delta
 	if d.r < lo {
 		d.r = lo
@@ -286,6 +371,9 @@ func (d *Device) AddStress(s float64) {
 func (d *Device) Pulse(dir int, lo, hi float64) float64 {
 	if dir == 0 {
 		return 0
+	}
+	if d.Stuck() {
+		return d.FailedPulse()
 	}
 	s := d.p.PulseStress(d.r) * d.agingFactor
 	d.stress += s
@@ -318,6 +406,10 @@ type ProgramResult struct {
 	Stress float64
 	// Clipped reports whether the target fell outside [lo, hi].
 	Clipped bool
+	// Stuck reports that the device is permanently stuck: the write
+	// attempt was detected as ineffective after one verify pulse and
+	// Achieved is the pinned resistance, not the target.
+	Stuck bool
 }
 
 // Program steps the device towards target resistance, constrained to
@@ -330,6 +422,20 @@ func (d *Device) Program(target, lo, hi float64) ProgramResult {
 		panic(fmt.Sprintf("device: program window inverted [%g, %g]", lo, hi))
 	}
 	res := ProgramResult{}
+	if d.Stuck() {
+		// The write-verify periphery applies one pulse, sees no
+		// movement, and gives up; the attempt still costs its stress.
+		// Fault-aware controllers avoid even this by skipping devices
+		// their fault map marks as stuck.
+		res.Stuck = true
+		res.Achieved = d.r
+		goalLvl := d.p.NearestLevelIn(target, lo, hi)
+		if d.p.LevelResistance(goalLvl) != d.r {
+			res.Stress = d.FailedPulse()
+			res.Pulses = 1
+		}
+		return res
+	}
 	goal := target
 	if goal < lo {
 		goal, res.Clipped = lo, true

@@ -19,7 +19,7 @@ func TestRegistryCompleteness(t *testing.T) {
 		"table1", "table2",
 		"fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig10vgg", "fig11",
 		"ablation-stress", "ablation-tracing", "ablation-levels", "ablation-policy",
-		"related-work", "differential", "temperature",
+		"related-work", "differential", "temperature", "fault-sweep",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

@@ -33,6 +33,7 @@ import (
 	"memlife/internal/crossbar"
 	"memlife/internal/dataset"
 	"memlife/internal/device"
+	"memlife/internal/fault"
 	"memlife/internal/mapping"
 	"memlife/internal/nn"
 	"memlife/internal/tensor"
@@ -117,6 +118,30 @@ type Config struct {
 	// PolicyOverride, when non-nil, replaces the scenario's mapping
 	// policy — used by the range-policy ablation.
 	PolicyOverride *mapping.PolicyKind
+	// Faults configures device-fault injection (stuck-at devices,
+	// transient programming failures, read-noise bursts); the zero
+	// value runs the clean-room simulation with no faults. See
+	// internal/fault.
+	Faults fault.Config
+	// FaultAwareRemap makes every (re)mapping tolerate stuck devices:
+	// range selection consults only healthy traced devices and
+	// programming skips/compensates stuck cells. Disabling it while
+	// faults are injected is the ablation arm of the fault-sweep
+	// experiment: the controller then wastes writes on dead cells and
+	// lets them distort the selected range.
+	FaultAwareRemap bool
+	// RetryBudget is the tuning retry cap for transient programming
+	// failures (see tuning.Config.RetryBudget). Zero means the tuning
+	// default; negative disables retries.
+	RetryBudget int
+	// DegradedAccFrac enables graceful degradation: when even a
+	// rescue remap cannot reach TargetAcc but the accuracy still
+	// reaches DegradedAccFrac*TargetAcc, the array keeps serving at
+	// that reduced floor instead of dying — a partially faulty array
+	// has a measured, not assumed, end of life. Zero disables
+	// degradation (any miss of TargetAcc is fatal, the paper's
+	// original criterion); the fault experiments use 0.9.
+	DegradedAccFrac float64
 }
 
 // Validate reports an error for degenerate configs.
@@ -144,8 +169,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("lifetime: RemapIterFrac must be in [0,1], got %g", c.RemapIterFrac)
 	case c.BurnInStress < 0:
 		return fmt.Errorf("lifetime: BurnInStress must be non-negative, got %g", c.BurnInStress)
+	case c.DegradedAccFrac < 0 || c.DegradedAccFrac >= 1:
+		return fmt.Errorf("lifetime: DegradedAccFrac must be in [0,1), got %g", c.DegradedAccFrac)
 	}
-	return nil
+	return c.Faults.Validate()
 }
 
 // DefaultConfig returns the configuration used by the Table I / Fig. 10
@@ -182,6 +209,15 @@ type CycleRecord struct {
 	// ConvUpper and FCUpper are the mean aged upper resistance bounds
 	// by layer kind (Fig. 11).
 	ConvUpper, FCUpper float64
+	// Stuck is the number of permanently stuck devices network-wide
+	// at the end of this cycle (initial defects plus wear-out).
+	Stuck int
+	// Retries counts tuning pulses re-attempted after transient
+	// programming failures this cycle (their stress is real).
+	Retries int64
+	// Degraded marks a cycle served below TargetAcc but at or above
+	// the graceful-degradation floor.
+	Degraded bool
 }
 
 // Result is the outcome of one scenario run.
@@ -194,6 +230,28 @@ type Result struct {
 	// Failed reports whether the array actually failed; false means
 	// the lifetime value is right-censored at MaxCycles.
 	Failed bool
+	// DegradedAtCycle is the first cycle that entered degraded
+	// operation (served below TargetAcc but at or above the reduced
+	// floor); 0 when the array never degraded.
+	DegradedAtCycle int
+	// FinalAcc is the evaluation accuracy at the end of the run — the
+	// accuracy floor a partially faulty array actually delivered.
+	FinalAcc float64
+}
+
+// AccuracyCurve returns the accuracy-vs-applications trajectory of the
+// run: one point per served cycle (cumulative applications, accuracy
+// after tuning). Together with Lifetime this is the graceful-
+// degradation view: instead of a single death point, the curve shows
+// how far and how fast a faulty array's delivered accuracy sagged.
+func (r Result) AccuracyCurve() (apps []int64, acc []float64) {
+	apps = make([]int64, len(r.Records))
+	acc = make([]float64, len(r.Records))
+	for i, rec := range r.Records {
+		apps[i] = rec.Apps
+		acc[i] = rec.Acc
+	}
+	return apps, acc
 }
 
 // Run simulates the deployment life of net under the scenario. The
@@ -220,35 +278,47 @@ func Run(net *nn.Network, trainDS *dataset.Dataset, sc Scenario, p device.Params
 	if cfg.BurnInStress > 0 {
 		mn.AddStress(cfg.BurnInStress)
 	}
+	if cfg.Faults.Enabled() {
+		if err := mn.SetFaults(cfg.Faults); err != nil {
+			return res, fmt.Errorf("lifetime: %w", err)
+		}
+	}
 
 	policy := sc.MappingPolicy()
 	if cfg.PolicyOverride != nil {
 		policy = *cfg.PolicyOverride
 	}
-	mapCfg := mapping.Config{Policy: policy}
+	mapCfg := mapping.Config{Policy: policy, FaultAware: cfg.FaultAwareRemap}
 
 	// Initial deployment: one mapping pass (Fig. 5 work flow).
 	if _, err := mapping.Map(mn, mapCfg, evalBatch.X, evalBatch.Y); err != nil {
 		return res, fmt.Errorf("lifetime: initial mapping: %w", err)
 	}
 
-	tune := func(cycle int) (tuning.Result, error) {
+	tune := func(cycle int, target float64) (tuning.Result, error) {
 		return tuning.Tune(mn, trainDS, evalBatch.X, evalBatch.Y, tuning.Config{
-			MaxIters:  cfg.TuneCap,
-			TargetAcc: cfg.TargetAcc,
-			BatchSize: cfg.TuneBatch,
-			StepFrac:  cfg.StepFrac,
-			Seed:      cfg.Seed + int64(cycle),
+			MaxIters:    cfg.TuneCap,
+			TargetAcc:   target,
+			BatchSize:   cfg.TuneBatch,
+			StepFrac:    cfg.StepFrac,
+			RetryBudget: cfg.RetryBudget,
+			Seed:        cfg.Seed + int64(cycle),
 		})
 	}
+
+	// Graceful degradation: effTarget starts at TargetAcc; when even a
+	// rescue remap cannot restore it but the accuracy holds the floor,
+	// the array keeps serving with effTarget lowered to the floor.
+	effTarget := cfg.TargetAcc
+	floor := cfg.TargetAcc * cfg.DegradedAccFrac
 
 	var apps int64
 	for cycle := 1; cycle <= cfg.MaxCycles; cycle++ {
 		// Applications run: read-disturb drift accumulates, then the
 		// per-application online tuning restores the target accuracy
-		// (Section II-C).
+		// (Section II-C). Stage 1: retune.
 		mn.Drift(cfg.DriftSigma, rng)
-		tuneRes, err := tune(cycle)
+		tuneRes, err := tune(cycle, effTarget)
 		if err != nil {
 			return res, fmt.Errorf("lifetime: cycle %d: %w", cycle, err)
 		}
@@ -257,37 +327,59 @@ func Run(net *nn.Network, trainDS *dataset.Dataset, sc Scenario, p device.Params
 			TuneIters: tuneRes.Iterations,
 			Converged: tuneRes.Converged,
 			Acc:       tuneRes.FinalAcc,
+			Retries:   tuneRes.Retries,
 		}
 		remapFrac := cfg.RemapIterFrac
 		if remapFrac == 0 {
 			remapFrac = 0.5
 		}
 		if !tuneRes.Converged || float64(tuneRes.Iterations) >= remapFrac*float64(cfg.TuneCap) {
-			// Tuning is failing or has become expensive: remap the
-			// trained weights (under the scenario's policy — this is
-			// where aging-aware range selection acts) and retry.
+			// Stage 2: tuning is failing or has become expensive —
+			// remap the trained weights (under the scenario's policy,
+			// fault-aware when configured) and retry tuning.
 			rec.Remapped = true
 			mapRes, err := mapping.Map(mn, mapCfg, evalBatch.X, evalBatch.Y)
 			if err != nil {
 				return res, fmt.Errorf("lifetime: cycle %d remap: %w", cycle, err)
 			}
 			rec.MapClipped = mapRes.Stats.Clipped
-			retry, err := tune(cycle + 1_000_000)
+			retry, err := tune(cycle+1_000_000, effTarget)
 			if err != nil {
 				return res, fmt.Errorf("lifetime: cycle %d retry: %w", cycle, err)
 			}
 			rec.TuneIters += retry.Iterations
 			rec.Converged = retry.Converged
 			rec.Acc = retry.FinalAcc
+			rec.Retries += retry.Retries
 		}
 		rec.ConvUpper, rec.FCUpper = mn.MeanUpperBoundByKind()
+		if !rec.Converged && floor > 0 && effTarget > floor && rec.Acc >= floor {
+			// Stage 3: even remapping missed the target, but the
+			// array still clears the reduced accuracy floor — accept
+			// degraded operation instead of declaring death.
+			effTarget = floor
+			rec.Converged = true
+			rec.Degraded = true
+			if res.DegradedAtCycle == 0 {
+				res.DegradedAtCycle = cycle
+			}
+		}
+		// Service wear accumulates into the fault hazard: heavily
+		// stressed devices cross their capacity and stick permanently.
+		mn.AdvanceFaults()
+		lrs, hrs := mn.StuckCounts()
+		rec.Stuck = lrs + hrs
+		res.FinalAcc = rec.Acc
 		if !rec.Converged {
-			// Even remapping could not rescue the array: failure.
+			// Every degradation stage is exhausted: failure.
 			rec.Apps = apps
 			res.Records = append(res.Records, rec)
 			res.Lifetime = apps
 			res.Failed = true
 			return res, nil
+		}
+		if res.DegradedAtCycle != 0 {
+			rec.Degraded = true
 		}
 		apps += cfg.AppsPerCycle
 		rec.Apps = apps

@@ -59,6 +59,15 @@ type Config struct {
 	// MinLevels is the smallest number of quantization levels a
 	// selected range may span. Zero means 4.
 	MinLevels int
+	// FaultAware makes the mapping tolerate permanently stuck devices
+	// instead of fighting them: the common-range selection draws its
+	// candidate bounds only from healthy traced devices (a stuck
+	// cell's bound says nothing about the programmable range), and
+	// programming skips stuck cells while compensating their fixed
+	// current contribution through the healthy cells of the same
+	// column (Crossbar.MapWeightsFaultAware). With no stuck devices
+	// the mapping is identical to the fault-unaware one.
+	FaultAware bool
 }
 
 func (c Config) maxCandidates() int {
@@ -122,10 +131,17 @@ func Map(mn *crossbar.MappedNetwork, cfg Config, evalX *tensor.Tensor, evalY []i
 	}
 	// Only now touch hardware: one programming pass per layer.
 	for i, sel := range res.Selections {
-		s := mn.MapLayer(i, sel.RLo, sel.RHi)
+		var s crossbar.MapStats
+		if cfg.FaultAware {
+			s = mn.MapLayerFaultAware(i, sel.RLo, sel.RHi)
+		} else {
+			s = mn.MapLayer(i, sel.RLo, sel.RHi)
+		}
 		res.Stats.Pulses += s.Pulses
 		res.Stats.Stress += s.Stress
 		res.Stats.Clipped += s.Clipped
+		res.Stats.Stuck += s.Stuck
+		res.Stats.Skipped += s.Skipped
 	}
 	mn.Refresh()
 	return res, nil
@@ -147,16 +163,25 @@ func selectRange(mn *crossbar.MappedNetwork, i int, cfg Config, evalX *tensor.Te
 		return hi
 	}
 
+	// The traced candidate bounds: fault-aware selection consults only
+	// healthy traced devices.
+	tracedBounds := func() []float64 {
+		if cfg.FaultAware {
+			return l.Crossbar.TracedUpperBoundsHealthy()
+		}
+		return l.Crossbar.TracedUpperBounds()
+	}
+
 	switch cfg.Policy {
 	case Fresh:
 		return LayerSelection{Layer: l.Name, RLo: rLo, RHi: p.RmaxFresh}, nil
 
 	case WorstCase:
-		ubs := l.Crossbar.TracedUpperBounds()
+		ubs := tracedBounds()
 		return LayerSelection{Layer: l.Name, RLo: rLo, RHi: clampHi(ubs[0])}, nil
 
 	case MeanBound:
-		ubs := l.Crossbar.TracedUpperBounds()
+		ubs := tracedBounds()
 		sum := 0.0
 		for _, v := range ubs {
 			sum += v
@@ -170,7 +195,7 @@ func selectRange(mn *crossbar.MappedNetwork, i int, cfg Config, evalX *tensor.Te
 		// selected range stable across mapping events until a traced
 		// bound actually crosses a level — avoiding a full-array
 		// reprogram (and its aging cost) on every remap.
-		raw := l.Crossbar.TracedUpperBounds()
+		raw := tracedBounds()
 		snapped := make([]float64, 0, len(raw))
 		for _, hi := range raw {
 			hi = clampHi(hi)

@@ -42,6 +42,14 @@ type Config struct {
 	// remaining endurance for a re-mapping attempt. Zero means 10;
 	// negative disables early stopping.
 	Patience int
+	// RetryBudget caps the immediate retries of a tuning pulse that
+	// silently failed to move its device (transient programming
+	// failure). Every retry is a real pulse: it dissipates the same
+	// programming power and accumulates the same stress as a
+	// successful one, so retries trade endurance for convergence
+	// speed. Permanently stuck devices are never retried — they are
+	// skipped outright. Zero means 2; negative disables retries.
+	RetryBudget int
 	// Seed drives batch shuffling.
 	Seed int64
 }
@@ -78,6 +86,16 @@ func (c Config) patience() int {
 	return c.Patience
 }
 
+func (c Config) retryBudget() int {
+	if c.RetryBudget == 0 {
+		return 2
+	}
+	if c.RetryBudget < 0 {
+		return 0
+	}
+	return c.RetryBudget
+}
+
 // Result reports the outcome of one tuning run.
 type Result struct {
 	// Iterations is the number of tuning iterations performed before
@@ -90,6 +108,12 @@ type Result struct {
 	// Pulses and Stress are the programming cost of the run.
 	Pulses int64
 	Stress float64
+	// Retries counts extra pulses spent re-attempting transient
+	// programming failures; their stress is included in Stress.
+	Retries int64
+	// StuckSkipped counts pulse requests dropped because their target
+	// device is permanently stuck (no pulse was applied).
+	StuckSkipped int64
 	// AccTrace records accuracy before each iteration (and the final
 	// accuracy as its last element).
 	AccTrace []float64
@@ -136,7 +160,9 @@ func Tune(mn *crossbar.MappedNetwork, ds *dataset.Dataset, evalX *tensor.Tensor,
 		}
 		b := batches[next]
 		next = (next + 1) % len(batches)
-		step(mn, b, cfg.stepFrac())
+		retries, skipped := step(mn, b, cfg.stepFrac(), cfg.retryBudget())
+		res.Retries += retries
+		res.StuckSkipped += skipped
 		iters = it + 1
 	}
 	res.FinalAcc = mn.Accuracy(evalX, evalY)
@@ -155,7 +181,7 @@ func Tune(mn *crossbar.MappedNetwork, ds *dataset.Dataset, evalX *tensor.Tensor,
 // whose weights see larger gradients — convolutional kernels, whose
 // gradients sum over all spatial positions — receive more pulses and
 // age faster, reproducing the conv-vs-FC asymmetry of Fig. 11.
-func step(mn *crossbar.MappedNetwork, b dataset.Batch, frac float64) {
+func step(mn *crossbar.MappedNetwork, b dataset.Batch, frac float64, retryBudget int) (retries, skipped int64) {
 	mn.Refresh()
 	mn.Net.ZeroGrads()
 	logits := mn.Net.Forward(b.X, true)
@@ -176,16 +202,24 @@ func step(mn *crossbar.MappedNetwork, b dataset.Batch, frac float64) {
 	}
 	thr := kthLargestAbs(all, k)
 	if thr == 0 {
-		return // gradient vanished; nothing to tune
+		return 0, 0 // gradient vanished; nothing to tune
 	}
 	for _, l := range mn.Layers {
-		pulseLayer(l, thr)
+		r, s := pulseLayer(l, thr, retryBudget)
+		retries += r
+		skipped += s
 	}
+	return retries, skipped
 }
 
 // pulseLayer applies sign pulses to every device of the layer whose
-// gradient magnitude reaches the global threshold.
-func pulseLayer(l *crossbar.MappedLayer, thr float64) {
+// gradient magnitude reaches the global threshold. Permanently stuck
+// devices are skipped — pulsing a dead cell burns endurance-neutral
+// write energy for zero movement, so the controller spends its budget
+// on cells that can still respond. A pulse that fails transiently is
+// retried up to retryBudget times; every attempt, failed or not, ages
+// the device.
+func pulseLayer(l *crossbar.MappedLayer, thr float64, retryBudget int) (retries, skipped int64) {
 	g := l.Param.Grad.Data()
 	cols := l.Crossbar.Cols
 	for idx, gv := range g {
@@ -200,8 +234,18 @@ func pulseLayer(l *crossbar.MappedLayer, thr float64) {
 		if gv < 0 {
 			dir = +1
 		}
-		l.Crossbar.StepDevice(idx/cols, idx%cols, dir)
+		i, j := idx/cols, idx%cols
+		if l.Crossbar.IsStuck(i, j) {
+			skipped++
+			continue
+		}
+		_, applied := l.Crossbar.StepDevice(i, j, dir)
+		for attempt := 0; !applied && attempt < retryBudget; attempt++ {
+			retries++
+			_, applied = l.Crossbar.StepDevice(i, j, dir)
+		}
 	}
+	return retries, skipped
 }
 
 // kthLargestAbs returns the k-th largest absolute value in g (1-based).
