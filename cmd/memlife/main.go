@@ -8,41 +8,75 @@
 //
 //	memlife -list
 //	memlife -run table1 [-fast] [-seed N] [-v]
-//	memlife -all [-fast]
+//	memlife -all [-fast] [-workers M]
+//	memlife -run table1,fault-sweep -seeds 5 -workers 4 -json out.json [-resume]
+//
+// With -seeds/-json/-resume the selected experiments run as a Monte
+// Carlo campaign: every (experiment, seed) pair becomes one shard on a
+// bounded worker pool, completed shards are journaled to a checkpoint,
+// and the aggregated JSON is byte-identical whatever the worker count.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
+	"memlife/internal/campaign"
 	"memlife/internal/experiments"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// cliConfig is the parsed flag set of one invocation.
+type cliConfig struct {
+	list       bool
+	runIDs     string
+	all        bool
+	fast       bool
+	seed       int64
+	verb       bool
+	outDir     string
+	seeds      int
+	workers    int
+	jsonOut    string
+	checkpoint string
+	resume     bool
 }
 
 // run is the testable CLI entry point: it parses args, executes the
 // requested experiments, and returns the process exit code. User errors
 // (unknown experiment id, conflicting flags) produce a one-line message
 // on stderr and a non-zero code — never a stack trace.
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("memlife", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	var (
-		list   = fs.Bool("list", false, "list available experiments")
-		runIDs = fs.String("run", "", "comma-separated experiment ids to run")
-		all    = fs.Bool("all", false, "run every experiment")
-		fast   = fs.Bool("fast", false, "use reduced sizes/budgets (seconds instead of minutes)")
-		seed   = fs.Int64("seed", 1, "random seed")
-		verb   = fs.Bool("v", false, "log progress to stderr")
-		outDir = fs.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
-	)
+	var c cliConfig
+	fs.BoolVar(&c.list, "list", false, "list available experiments")
+	fs.StringVar(&c.runIDs, "run", "", "comma-separated experiment ids to run")
+	fs.BoolVar(&c.all, "all", false, "run every experiment")
+	fs.BoolVar(&c.fast, "fast", false, "use reduced sizes/budgets (seconds instead of minutes)")
+	fs.Int64Var(&c.seed, "seed", 1, "random seed (campaign: base seed of the shard derivation)")
+	fs.BoolVar(&c.verb, "v", false, "log progress to stderr")
+	fs.StringVar(&c.outDir, "out", "", "also write each experiment's output to <dir>/<id>.txt")
+	fs.IntVar(&c.seeds, "seeds", 1, "campaign: seeds per experiment (>1 selects campaign mode)")
+	fs.IntVar(&c.workers, "workers", 0, "bound on parallel workers (0 = GOMAXPROCS)")
+	fs.StringVar(&c.jsonOut, "json", "", "campaign: write aggregated results as canonical JSON to this file")
+	fs.StringVar(&c.checkpoint, "checkpoint", "", "campaign: shard journal path (default <json>.ckpt.jsonl)")
+	fs.BoolVar(&c.resume, "resume", false, "campaign: skip shards already journaled in the checkpoint")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -50,69 +84,254 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "memlife: unexpected argument %q (experiments are selected with -run)\n", fs.Arg(0))
 		return 2
 	}
-	if *all && *runIDs != "" {
+	if c.all && c.runIDs != "" {
 		fmt.Fprintln(stderr, "memlife: -all and -run are mutually exclusive")
 		return 2
 	}
+	if c.seeds < 1 {
+		fmt.Fprintln(stderr, "memlife: -seeds must be >= 1")
+		return 2
+	}
 
+	campaignMode := c.seeds > 1 || c.jsonOut != "" || c.resume || c.checkpoint != ""
 	switch {
-	case *list:
+	case c.list:
 		for _, e := range experiments.All() {
 			fmt.Fprintf(stdout, "%-18s %s\n", e.ID, e.Title)
 		}
 		return 0
-	case *all || *runIDs != "":
-		opt := experiments.Options{Fast: *fast, Seed: *seed}
-		if *verb {
-			opt.Log = stderr
+	case campaignMode:
+		if !c.all && c.runIDs == "" {
+			fmt.Fprintln(stderr, "memlife: campaign mode (-seeds/-json/-resume/-checkpoint) needs -run or -all")
+			return 2
 		}
-		var ids []string
-		if *all {
-			for _, e := range experiments.All() {
-				ids = append(ids, e.ID)
-			}
-		} else {
-			ids = strings.Split(*runIDs, ",")
+		return runCampaign(ctx, c, stdout, stderr)
+	case c.all || c.runIDs != "":
+		ids, code := selectIDs(c, stderr)
+		if code != 0 {
+			return code
 		}
-		if *outDir != "" {
-			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		if c.outDir != "" {
+			if err := os.MkdirAll(c.outDir, 0o755); err != nil {
 				fmt.Fprintf(stderr, "memlife: creating -out dir: %v\n", err)
 				return 1
 			}
 		}
-		for _, id := range ids {
-			id = strings.TrimSpace(id)
-			e, ok := experiments.ByID(id)
-			if !ok {
-				fmt.Fprintf(stderr, "memlife: unknown experiment %q (try -list)\n", id)
-				return 1
-			}
-			w := stdout
-			var f *os.File
-			if *outDir != "" {
-				var err error
-				f, err = os.Create(filepath.Join(*outDir, id+".txt"))
-				if err != nil {
-					fmt.Fprintf(stderr, "memlife: %v\n", err)
-					return 1
-				}
-				w = io.MultiWriter(stdout, f)
-			}
-			fmt.Fprintf(stdout, "=== %s: %s ===\n", e.ID, e.Title)
-			start := time.Now()
-			err := e.Run(w, opt)
-			if f != nil {
-				f.Close()
-			}
-			if err != nil {
-				fmt.Fprintf(stderr, "memlife: %s failed: %v\n", e.ID, err)
-				return 1
-			}
-			fmt.Fprintf(stdout, "=== %s done in %s ===\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		workers := c.workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
 		}
-		return 0
+		if workers > len(ids) {
+			workers = len(ids)
+		}
+		if workers <= 1 {
+			return runSequential(ctx, c, ids, stdout, stderr)
+		}
+		return runParallel(ctx, c, ids, workers, stdout, stderr)
 	default:
 		fs.Usage()
 		return 2
 	}
+}
+
+// selectIDs resolves the experiment selection. -all runs every
+// registered experiment except the Meta ones (campaign drivers), which
+// would rerun experiments the loop already covers.
+func selectIDs(c cliConfig, stderr io.Writer) ([]string, int) {
+	var ids []string
+	if c.all {
+		for _, e := range experiments.All() {
+			if !e.Meta {
+				ids = append(ids, e.ID)
+			}
+		}
+		return ids, 0
+	}
+	for _, id := range strings.Split(c.runIDs, ",") {
+		id = strings.TrimSpace(id)
+		if _, ok := experiments.ByID(id); !ok {
+			fmt.Fprintf(stderr, "memlife: unknown experiment %q (try -list)\n", id)
+			return nil, 1
+		}
+		ids = append(ids, id)
+	}
+	return ids, 0
+}
+
+// outFile opens <outDir>/<id>.txt when -out is set (nil otherwise).
+func outFile(c cliConfig, id string, stderr io.Writer) (*os.File, int) {
+	if c.outDir == "" {
+		return nil, 0
+	}
+	f, err := os.Create(filepath.Join(c.outDir, id+".txt"))
+	if err != nil {
+		fmt.Fprintf(stderr, "memlife: %v\n", err)
+		return nil, 1
+	}
+	return f, 0
+}
+
+// runSequential is the single-worker text path: experiments run one at
+// a time, streaming output as they go.
+func runSequential(ctx context.Context, c cliConfig, ids []string, stdout, stderr io.Writer) int {
+	opt := experiments.Options{Fast: c.fast, Seed: c.seed, Ctx: ctx}
+	if c.verb {
+		opt.Log = stderr
+	}
+	for _, id := range ids {
+		e, _ := experiments.ByID(id)
+		w := stdout
+		f, code := outFile(c, id, stderr)
+		if code != 0 {
+			return code
+		}
+		if f != nil {
+			w = io.MultiWriter(stdout, f)
+		}
+		fmt.Fprintf(stdout, "=== %s: %s ===\n", e.ID, e.Title)
+		start := time.Now()
+		err := e.Run(w, opt)
+		if f != nil {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "memlife: %s failed: %v\n", e.ID, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "=== %s done in %s ===\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return 0
+}
+
+// runParallel fans the selected experiments over a bounded worker
+// pool. Each experiment renders into its own buffer; the drain loop
+// prints completed buffers in selection order, so stdout reads exactly
+// like the sequential mode. Progress logs (-v) are multiplexed onto
+// stderr line-by-line with experiment prefixes.
+func runParallel(ctx context.Context, c cliConfig, ids []string, workers int, stdout, stderr io.Writer) int {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	logMux := campaign.NewSyncWriter(stderr)
+	type job struct {
+		e       experiments.Experiment
+		buf     bytes.Buffer
+		err     error
+		elapsed time.Duration
+		done    chan struct{}
+	}
+	jobs := make([]*job, len(ids))
+	for i, id := range ids {
+		e, _ := experiments.ByID(id)
+		jobs[i] = &job{e: e, done: make(chan struct{})}
+	}
+
+	sem := make(chan struct{}, workers)
+	for _, j := range jobs {
+		go func(j *job) {
+			defer close(j.done)
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if runCtx.Err() != nil {
+				j.err = runCtx.Err()
+				return
+			}
+			opt := experiments.Options{Fast: c.fast, Seed: c.seed, Ctx: runCtx}
+			var view io.WriteCloser
+			if c.verb {
+				view = logMux.Shard(j.e.ID)
+				opt.Log = view
+			}
+			start := time.Now()
+			j.err = j.e.Run(&j.buf, opt)
+			j.elapsed = time.Since(start)
+			if view != nil {
+				view.Close()
+			}
+			if j.err != nil {
+				cancel() // first failure stops the rest
+			}
+		}(j)
+	}
+
+	exit := 0
+	for _, j := range jobs {
+		<-j.done
+		if j.err != nil {
+			if exit == 0 {
+				fmt.Fprintf(stderr, "memlife: %s failed: %v\n", j.e.ID, j.err)
+				exit = 1
+			}
+			continue
+		}
+		f, code := outFile(c, j.e.ID, stderr)
+		if code != 0 {
+			return code
+		}
+		if f != nil {
+			f.Write(j.buf.Bytes())
+			f.Close()
+		}
+		fmt.Fprintf(stdout, "=== %s: %s ===\n", j.e.ID, j.e.Title)
+		stdout.Write(j.buf.Bytes())
+		fmt.Fprintf(stdout, "=== %s done in %s ===\n\n", j.e.ID, j.elapsed.Round(time.Millisecond))
+	}
+	return exit
+}
+
+// runCampaign executes the Monte Carlo campaign mode: the selected
+// experiments sharded over -seeds seeds, journaled to a checkpoint,
+// aggregated with confidence intervals, and (optionally) written as
+// canonical JSON whose bytes are independent of -workers.
+func runCampaign(ctx context.Context, c cliConfig, stdout, stderr io.Writer) int {
+	ids, code := selectIDs(c, stderr)
+	if code != 0 {
+		return code
+	}
+	spec := campaign.Spec{
+		Experiments: ids,
+		Seeds:       c.seeds,
+		BaseSeed:    c.seed,
+		Fast:        c.fast,
+	}
+	ckpt := c.checkpoint
+	if ckpt == "" && c.jsonOut != "" {
+		ckpt = c.jsonOut + ".ckpt.jsonl"
+	}
+	if c.resume && ckpt == "" {
+		fmt.Fprintln(stderr, "memlife: -resume needs -checkpoint or -json to locate the journal")
+		return 2
+	}
+	cfg := campaign.Config{
+		Workers:        c.workers,
+		Resolve:        experiments.CampaignResolver(),
+		CheckpointPath: ckpt,
+		Resume:         c.resume,
+	}
+	if c.verb {
+		cfg.Reporter = campaign.NewLogReporter(stderr)
+		cfg.Log = stderr
+	}
+	res, err := campaign.Run(ctx, spec, cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "memlife: %v\n", err)
+		return 1
+	}
+	if c.jsonOut != "" {
+		f, err := os.Create(c.jsonOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "memlife: %v\n", err)
+			return 1
+		}
+		err = res.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "memlife: writing %s: %v\n", c.jsonOut, err)
+			return 1
+		}
+	}
+	res.RenderText(stdout)
+	return 0
 }

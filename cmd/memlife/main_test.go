@@ -1,6 +1,9 @@
 package main
 
 import (
+	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -20,11 +23,16 @@ func TestRunCLIErrors(t *testing.T) {
 		{"undefined flag", []string{"-bogus"}, 2, ""},
 		{"stray positional arg", []string{"-fast", "table1"}, 2, `unexpected argument "table1"`},
 		{"no action", []string{"-fast"}, 2, ""},
+		{"campaign without selection", []string{"-seeds", "3"}, 2, "needs -run or -all"},
+		{"bad seed count", []string{"-run", "fig4", "-seeds", "0"}, 2, "-seeds must be >= 1"},
+		{"resume without journal", []string{"-run", "fig4", "-resume"}, 2, "-resume needs -checkpoint or -json"},
+		{"campaign of metricless experiment", []string{"-run", "fig3", "-seeds", "2"}, 1, ""},
+		{"campaign of unknown experiment", []string{"-run", "nope", "-seeds", "2"}, 1, `unknown experiment "nope"`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var stdout, stderr strings.Builder
-			code := run(tc.args, &stdout, &stderr)
+			code := run(context.Background(), tc.args, &stdout, &stderr)
 			if code != tc.wantCode {
 				t.Fatalf("run(%v) = %d, want %d (stderr: %s)", tc.args, code, tc.wantCode, stderr.String())
 			}
@@ -41,12 +49,125 @@ func TestRunCLIErrors(t *testing.T) {
 // TestRunCLIList smoke-tests the success path that needs no training.
 func TestRunCLIList(t *testing.T) {
 	var stdout, stderr strings.Builder
-	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+	if code := run(context.Background(), []string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list exited %d: %s", code, stderr.String())
 	}
-	for _, id := range []string{"table1", "fault-sweep"} {
+	for _, id := range []string{"table1", "fault-sweep", "campaign-lifetime"} {
 		if !strings.Contains(stdout.String(), id) {
 			t.Fatalf("-list output must mention %s:\n%s", id, stdout.String())
 		}
+	}
+}
+
+// campaignJSON runs one fig4 campaign and returns the canonical JSON
+// bytes. fig4 is training-free, so these end-to-end runs cost
+// milliseconds.
+func campaignJSON(t *testing.T, extra ...string) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.json")
+	args := append([]string{"-run", "fig4", "-fast", "-seeds", "4", "-json", out}, extra...)
+	var stdout, stderr strings.Builder
+	if code := run(context.Background(), args, &stdout, &stderr); code != 0 {
+		t.Fatalf("campaign exited %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "levels_final") {
+		t.Fatalf("campaign summary must list metrics:\n%s", stdout.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestCampaignJSONDeterministicAcrossWorkers is the CLI half of the
+// determinism guarantee: -workers 1 and -workers 4 must produce
+// byte-identical aggregated JSON.
+func TestCampaignJSONDeterministicAcrossWorkers(t *testing.T) {
+	one := campaignJSON(t, "-workers", "1")
+	four := campaignJSON(t, "-workers", "4")
+	if string(one) != string(four) {
+		t.Fatalf("-workers must not change the JSON:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", one, four)
+	}
+}
+
+// TestCampaignResume reruns a finished campaign with -resume: every
+// shard must come from the journal and the JSON must not change.
+func TestCampaignResume(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.json")
+	base := []string{"-run", "fig4", "-fast", "-seeds", "3", "-json", out}
+
+	var stdout, stderr strings.Builder
+	if code := run(context.Background(), base, &stdout, &stderr); code != 0 {
+		t.Fatalf("first run exited %d: %s", code, stderr.String())
+	}
+	first, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out + ".ckpt.jsonl"); err != nil {
+		t.Fatalf("-json must imply a checkpoint journal: %v", err)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(context.Background(), append(base, "-resume", "-v"), &stdout, &stderr); code != 0 {
+		t.Fatalf("resume exited %d: %s", code, stderr.String())
+	}
+	second, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatalf("resumed JSON differs:\n%s\nvs\n%s", first, second)
+	}
+	if !strings.Contains(stderr.String(), "from checkpoint") {
+		t.Fatalf("-v resume run must report checkpointed shards:\n%s", stderr.String())
+	}
+}
+
+// TestCampaignSeedSensitivity: different base seeds must change the
+// shard seeds (and so the fingerprint/JSON), or the campaign would
+// silently rerun identical work.
+func TestCampaignSeedSensitivity(t *testing.T) {
+	a := campaignJSON(t, "-seed", "1")
+	b := campaignJSON(t, "-seed", "2")
+	if string(a) == string(b) {
+		t.Fatal("different base seeds must produce different campaign JSON")
+	}
+}
+
+// TestParallelAllOrdersOutput runs several cheap experiments through
+// the parallel text path and checks stdout keeps selection order.
+func TestParallelAllOrdersOutput(t *testing.T) {
+	var stdout, stderr strings.Builder
+	args := []string{"-run", "fig4,fig3,fig6", "-fast", "-workers", "3"}
+	if code := run(context.Background(), args, &stdout, &stderr); code != 0 {
+		t.Fatalf("parallel run exited %d: %s", code, stderr.String())
+	}
+	got := stdout.String()
+	i4 := strings.Index(got, "=== fig4:")
+	i3 := strings.Index(got, "=== fig3:")
+	i6 := strings.Index(got, "=== fig6:")
+	if i4 < 0 || i3 < 0 || i6 < 0 || !(i4 < i3 && i3 < i6) {
+		t.Fatalf("parallel output must keep selection order (fig4 < fig3 < fig6), got offsets %d %d %d:\n%s", i4, i3, i6, got)
+	}
+}
+
+// TestCancelledContextAborts: an already-cancelled context must abort
+// the campaign with an error, leaving the checkpoint for a resume.
+func TestCancelledContextAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var stdout, stderr strings.Builder
+	dir := t.TempDir()
+	args := []string{"-run", "fig4", "-fast", "-seeds", "3", "-json", filepath.Join(dir, "out.json")}
+	if code := run(ctx, args, &stdout, &stderr); code != 1 {
+		t.Fatalf("cancelled campaign must exit 1, got %d (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "interrupted") {
+		t.Fatalf("stderr must mention the interruption:\n%s", stderr.String())
 	}
 }

@@ -1,0 +1,114 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"memlife/internal/analysis"
+)
+
+// Aggregate is the cross-seed statistics of one metric of one
+// experiment: mean, sample standard deviation, and the 95% confidence
+// half-width of the mean (Student-t), plus the observed range.
+type Aggregate struct {
+	Experiment string  `json:"experiment"`
+	Metric     string  `json:"metric"`
+	N          int     `json:"n"`
+	Mean       float64 `json:"mean"`
+	Std        float64 `json:"std"`
+	CI95       float64 `json:"ci95"`
+	Min        float64 `json:"min"`
+	Max        float64 `json:"max"`
+}
+
+// aggregate reduces shard metrics to per-(experiment, metric)
+// statistics. Shards must already be in index order; samples are
+// accumulated in that order so floating-point results are identical
+// across schedules.
+func aggregate(shards []ShardResult) []Aggregate {
+	type key struct{ exp, metric string }
+	samples := map[key][]float64{}
+	for _, s := range shards {
+		names := make([]string, 0, len(s.Metrics))
+		for name := range s.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			k := key{s.Experiment, name}
+			samples[k] = append(samples[k], s.Metrics[name])
+		}
+	}
+	keys := make([]key, 0, len(samples))
+	for k := range samples {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].exp != keys[j].exp {
+			return keys[i].exp < keys[j].exp
+		}
+		return keys[i].metric < keys[j].metric
+	})
+	out := make([]Aggregate, 0, len(keys))
+	for _, k := range keys {
+		data := samples[k]
+		ci := analysis.MeanCI95(data)
+		min, max := data[0], data[0]
+		for _, v := range data[1:] {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		out = append(out, Aggregate{
+			Experiment: k.exp,
+			Metric:     k.metric,
+			N:          ci.N,
+			Mean:       ci.Mean,
+			Std:        ci.Std,
+			CI95:       ci.CI95,
+			Min:        min,
+			Max:        max,
+		})
+	}
+	return out
+}
+
+// WriteJSON writes the canonical JSON form of the result: indented,
+// deterministic (map keys sorted by encoding/json, shards by index,
+// aggregates by name), newline-terminated.
+func (r *Result) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: marshal result: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// RenderText prints the aggregate table in the experiments' plain-text
+// style: one row per (experiment, metric) with mean ± 95% CI.
+func (r *Result) RenderText(w io.Writer) {
+	fmt.Fprintf(w, "Campaign — %d experiment(s) x %d seed(s), base seed %d\n",
+		len(r.Spec.Experiments), r.Spec.Seeds, r.Spec.BaseSeed)
+	var cells [][]string
+	for _, a := range r.Aggregates {
+		cells = append(cells, []string{
+			a.Experiment, a.Metric,
+			fmt.Sprintf("%d", a.N),
+			fmt.Sprintf("%.6g", a.Mean),
+			fmt.Sprintf("%.6g", a.CI95),
+			fmt.Sprintf("%.6g", a.Std),
+			fmt.Sprintf("%.6g", a.Min),
+			fmt.Sprintf("%.6g", a.Max),
+		})
+	}
+	fmt.Fprint(w, analysis.Table(
+		[]string{"experiment", "metric", "n", "mean", "ci95", "std", "min", "max"},
+		cells))
+}

@@ -1,0 +1,143 @@
+// Package campaign turns single-seed experiment runs into multi-seed
+// Monte Carlo campaigns. A campaign spec (experiments x seed range) is
+// expanded into independent shards; a bounded worker pool executes the
+// shards with per-shard RNG seeds derived deterministically from
+// (base seed, shard index), so the aggregated result is bit-identical
+// regardless of worker count or completion order. Completed shards are
+// journaled to a JSONL checkpoint so an interrupted campaign resumes
+// without repeating work, and per-metric mean / stddev / 95% CI are
+// aggregated with internal/analysis.
+//
+// The package is deliberately ignorant of what an "experiment" is: the
+// engine resolves experiment names to RunnerFuncs through a Resolver
+// supplied by the caller (cmd/memlife adapts the experiment registry),
+// which keeps the dependency direction campaign -> analysis only.
+package campaign
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Spec declares a campaign: every experiment is run once per seed in
+// the seed range, each run being one independent shard.
+type Spec struct {
+	// Experiments are the experiment names, run in the given order.
+	Experiments []string `json:"experiments"`
+	// Seeds is the number of seeds per experiment (the Monte Carlo
+	// sample size).
+	Seeds int `json:"seeds"`
+	// BaseSeed is the root of every per-shard seed derivation.
+	BaseSeed int64 `json:"base_seed"`
+	// Fast selects the experiments' reduced-budget mode.
+	Fast bool `json:"fast"`
+}
+
+// Validate reports an error for degenerate specs.
+func (s Spec) Validate() error {
+	if len(s.Experiments) == 0 {
+		return fmt.Errorf("campaign: spec has no experiments")
+	}
+	seen := make(map[string]bool, len(s.Experiments))
+	for _, e := range s.Experiments {
+		if e == "" {
+			return fmt.Errorf("campaign: empty experiment name")
+		}
+		if seen[e] {
+			return fmt.Errorf("campaign: duplicate experiment %q", e)
+		}
+		seen[e] = true
+	}
+	if s.Seeds < 1 {
+		return fmt.Errorf("campaign: Seeds must be >= 1, got %d", s.Seeds)
+	}
+	return nil
+}
+
+// Fingerprint returns a short stable hash of the spec. Checkpoint
+// records carry it so a journal can only resume the campaign that
+// wrote it.
+func (s Spec) Fingerprint() string {
+	b, err := json.Marshal(s)
+	if err != nil { // a Spec of plain scalars cannot fail to marshal
+		panic(fmt.Sprintf("campaign: fingerprint: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Shard is one independent unit of campaign work: one experiment at
+// one derived seed.
+type Shard struct {
+	// Index is the shard's position in the expanded campaign; it is
+	// the sole input (besides the base seed) of the seed derivation.
+	Index int `json:"index"`
+	// Experiment names the experiment this shard runs.
+	Experiment string `json:"experiment"`
+	// SeedIndex is the shard's position within its experiment's seed
+	// range (0 <= SeedIndex < Spec.Seeds).
+	SeedIndex int `json:"seed_index"`
+	// Seed is the derived per-shard RNG seed.
+	Seed int64 `json:"seed"`
+	// Fast mirrors Spec.Fast so runners need no access to the spec.
+	Fast bool `json:"-"`
+}
+
+// Label returns the shard's display name, e.g. "table1#2".
+func (s Shard) Label() string {
+	return fmt.Sprintf("%s#%d", s.Experiment, s.SeedIndex)
+}
+
+// Shards expands the spec into its shard list: experiments in spec
+// order, seeds in range order. The expansion is a pure function of the
+// spec, so every run of the same spec sees identical shards.
+func (s Spec) Shards() []Shard {
+	out := make([]Shard, 0, len(s.Experiments)*s.Seeds)
+	for _, exp := range s.Experiments {
+		for i := 0; i < s.Seeds; i++ {
+			idx := len(out)
+			out = append(out, Shard{
+				Index:      idx,
+				Experiment: exp,
+				SeedIndex:  i,
+				Seed:       ShardSeed(s.BaseSeed, idx),
+				Fast:       s.Fast,
+			})
+		}
+	}
+	return out
+}
+
+// ShardSeed derives the RNG seed of shard index from the campaign's
+// base seed with a splitmix64 mix: well-separated streams for
+// neighboring indices, deterministic across runs, platforms and worker
+// schedules. The result is kept non-negative so derived seeds read
+// naturally in logs and checkpoints.
+func ShardSeed(base int64, index int) int64 {
+	x := uint64(base) + (uint64(index)+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x &^ (1 << 63))
+}
+
+// Metrics is one shard's scalar results, keyed by metric name.
+type Metrics map[string]float64
+
+// RunnerFunc executes one shard and returns its metrics. Runners must
+// derive all randomness from shard.Seed (never from global state or
+// time) for campaign results to be schedule-independent, and should
+// return promptly once ctx is cancelled. log receives the shard's
+// progress output; it is always non-nil (possibly io.Discard) and safe
+// for use from the shard's goroutine only.
+type RunnerFunc func(ctx context.Context, shard Shard, log io.Writer) (Metrics, error)
+
+// Resolver maps an experiment name to its runner; ok=false means the
+// name is unknown or the experiment cannot produce campaign metrics.
+type Resolver func(experiment string) (RunnerFunc, bool)

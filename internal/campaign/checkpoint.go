@@ -1,0 +1,120 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// checkpointRecord is one line of the JSONL checkpoint journal: a
+// completed shard with its metrics. The fingerprint ties the record to
+// the spec that produced it; ElapsedMS is bookkeeping only and never
+// enters the aggregated result (which must be byte-identical across
+// runs and resumes).
+type checkpointRecord struct {
+	Fingerprint string  `json:"fingerprint"`
+	Index       int     `json:"index"`
+	Experiment  string  `json:"experiment"`
+	SeedIndex   int     `json:"seed_index"`
+	Seed        int64   `json:"seed"`
+	Metrics     Metrics `json:"metrics"`
+	ElapsedMS   int64   `json:"elapsed_ms"`
+}
+
+// loadCheckpoint reads a journal and returns the completed shards of
+// the campaign identified by fingerprint, keyed by shard index. A
+// missing file is an empty journal. Records from other campaigns are
+// an error (the journal belongs to a different spec); a malformed
+// final line is tolerated (a killed run may have died mid-append), a
+// malformed interior line is corruption and an error.
+func loadCheckpoint(path, fingerprint string) (map[int]ShardResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return map[int]ShardResult{}, nil
+		}
+		return nil, fmt.Errorf("campaign: open checkpoint: %w", err)
+	}
+	defer f.Close()
+
+	done := make(map[int]ShardResult)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var pendingErr error
+	line := 0
+	for sc.Scan() {
+		line++
+		if pendingErr != nil {
+			// The malformed line was not the last one: corruption.
+			return nil, pendingErr
+		}
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec checkpointRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			pendingErr = fmt.Errorf("campaign: checkpoint %s line %d: %w", path, line, err)
+			continue
+		}
+		if rec.Fingerprint != fingerprint {
+			return nil, fmt.Errorf("campaign: checkpoint %s line %d belongs to a different campaign (fingerprint %s, want %s) — delete it or point -checkpoint elsewhere",
+				path, line, rec.Fingerprint, fingerprint)
+		}
+		done[rec.Index] = ShardResult{
+			Shard: Shard{
+				Index:      rec.Index,
+				Experiment: rec.Experiment,
+				SeedIndex:  rec.SeedIndex,
+				Seed:       rec.Seed,
+			},
+			Metrics: rec.Metrics,
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: read checkpoint: %w", err)
+	}
+	// A trailing malformed line is a torn final append from a killed
+	// run: that shard simply re-runs.
+	return done, nil
+}
+
+// journal appends completed-shard records to the checkpoint file,
+// serialized across workers and synced per record so a killed process
+// loses at most the shard it was mid-writing.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func openJournal(path string) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: open checkpoint journal: %w", err)
+	}
+	return &journal{f: f}, nil
+}
+
+func (j *journal) append(rec checkpointRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("campaign: journal shard %d: %w", rec.Index, err)
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("campaign: journal shard %d: %w", rec.Index, err)
+	}
+	return j.f.Sync()
+}
+
+func (j *journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -1,0 +1,249 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Config parameterizes one campaign execution (everything about *how*
+// to run; the Spec says *what* to run).
+type Config struct {
+	// Workers bounds the worker pool; <= 0 means GOMAXPROCS. Worker
+	// count affects wall-clock only, never results.
+	Workers int
+	// Resolve maps experiment names to runners.
+	Resolve Resolver
+	// CheckpointPath is the JSONL journal of completed shards; empty
+	// disables checkpointing (and Resume).
+	CheckpointPath string
+	// Resume loads previously journaled shards of the same spec from
+	// CheckpointPath instead of re-running them.
+	Resume bool
+	// Reporter receives progress events; nil means no reporting.
+	Reporter Reporter
+	// Log receives the shards' experiment logs, multiplexed line-by-
+	// line with shard prefixes; nil silences them.
+	Log io.Writer
+}
+
+// ShardResult is one completed shard with its metrics.
+type ShardResult struct {
+	Shard
+	Metrics Metrics `json:"metrics"`
+}
+
+// Result is a completed campaign. Its JSON form is canonical: shards
+// ordered by index, aggregates ordered by (experiment, metric), and no
+// timing or scheduling information — the same spec produces the same
+// bytes whatever the worker count, completion order, or resume
+// history.
+type Result struct {
+	Fingerprint string        `json:"fingerprint"`
+	Spec        Spec          `json:"spec"`
+	Shards      []ShardResult `json:"shards"`
+	Aggregates  []Aggregate   `json:"aggregates"`
+	// Resumed counts shards restored from the checkpoint rather than
+	// executed; display bookkeeping, deliberately absent from JSON.
+	Resumed int `json:"-"`
+	// Elapsed is this execution's wall time; also absent from JSON.
+	Elapsed time.Duration `json:"-"`
+}
+
+// Run executes the campaign. Shards run on a bounded worker pool; each
+// completed shard is journaled immediately, so cancelling (ctx) or
+// killing the process loses at most in-flight shards, and a later Run
+// with Config.Resume picks up where this one stopped. The first shard
+// error cancels the remaining work and is returned.
+func Run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
+	start := time.Now()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Resolve == nil {
+		return nil, fmt.Errorf("campaign: Config.Resolve is required")
+	}
+	runners := make(map[string]RunnerFunc, len(spec.Experiments))
+	for _, exp := range spec.Experiments {
+		r, ok := cfg.Resolve(exp)
+		if !ok {
+			return nil, fmt.Errorf("campaign: experiment %q is unknown or has no campaign metrics", exp)
+		}
+		runners[exp] = r
+	}
+	rep := cfg.Reporter
+	if rep == nil {
+		rep = NopReporter()
+	}
+
+	fp := spec.Fingerprint()
+	shards := spec.Shards()
+	done := map[int]ShardResult{}
+	if cfg.Resume {
+		if cfg.CheckpointPath == "" {
+			return nil, fmt.Errorf("campaign: Resume requires CheckpointPath")
+		}
+		var err error
+		done, err = loadCheckpoint(cfg.CheckpointPath, fp)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var jnl *journal
+	if cfg.CheckpointPath != "" {
+		var err error
+		jnl, err = openJournal(cfg.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		defer jnl.Close()
+	}
+
+	var pending []Shard
+	for _, s := range shards {
+		if _, ok := done[s.Index]; !ok {
+			pending = append(pending, s)
+		}
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	rep.CampaignStarted(len(shards), len(done), workers)
+
+	var logMux *SyncWriter
+	if cfg.Log != nil {
+		logMux = NewSyncWriter(cfg.Log)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu        sync.Mutex // guards results, firstErr, completed
+		results   = make([]ShardResult, 0, len(pending))
+		firstErr  error
+		completed = len(done)
+		total     = len(shards)
+		wg        sync.WaitGroup
+	)
+	jobs := make(chan Shard)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for s := range jobs {
+				if runCtx.Err() != nil {
+					return
+				}
+				rep.ShardStarted(worker, s)
+				var shardLog io.Writer = io.Discard
+				var closer io.Closer
+				if logMux != nil {
+					lw := logMux.Shard(s.Label())
+					shardLog, closer = lw, lw
+				}
+				t0 := time.Now()
+				m, err := runners[s.Experiment](runCtx, s, shardLog)
+				if closer != nil {
+					closer.Close()
+				}
+				if err != nil {
+					fail(fmt.Errorf("campaign: shard %s (seed %d): %w", s.Label(), s.Seed, err))
+					return
+				}
+				elapsed := time.Since(t0)
+				if jnl != nil {
+					err := jnl.append(checkpointRecord{
+						Fingerprint: fp,
+						Index:       s.Index,
+						Experiment:  s.Experiment,
+						SeedIndex:   s.SeedIndex,
+						Seed:        s.Seed,
+						Metrics:     m,
+						ElapsedMS:   elapsed.Milliseconds(),
+					})
+					if err != nil {
+						fail(err)
+						return
+					}
+				}
+				mu.Lock()
+				results = append(results, ShardResult{Shard: s, Metrics: m})
+				completed++
+				doneN := completed
+				mu.Unlock()
+				var eta time.Duration
+				if ran := doneN - len(done); ran > 0 {
+					eta = time.Since(start) / time.Duration(ran) * time.Duration(total-doneN)
+				}
+				rep.ShardDone(worker, s, elapsed, doneN, total, eta)
+			}
+		}(w)
+	}
+feed:
+	for _, s := range pending {
+		select {
+		case jobs <- s:
+		case <-runCtx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: interrupted (completed shards are checkpointed): %w", err)
+	}
+
+	// Assemble the canonical result: journaled + fresh shards in index
+	// order. Aggregation consumes them in this order, so float
+	// summation order — and therefore the output bytes — are schedule-
+	// independent.
+	for _, r := range results {
+		done[r.Index] = r
+	}
+	out := &Result{
+		Fingerprint: fp,
+		Spec:        spec,
+		Shards:      make([]ShardResult, 0, len(shards)),
+		Resumed:     len(shards) - len(pending),
+		Elapsed:     time.Since(start),
+	}
+	for _, s := range shards {
+		r, ok := done[s.Index]
+		if !ok {
+			return nil, fmt.Errorf("campaign: shard %d missing after run (corrupt checkpoint?)", s.Index)
+		}
+		if r.Experiment != s.Experiment || r.Seed != s.Seed {
+			return nil, fmt.Errorf("campaign: checkpoint shard %d is %s seed %d, spec says %s seed %d",
+				s.Index, r.Experiment, r.Seed, s.Experiment, s.Seed)
+		}
+		r.Fast = s.Fast
+		out.Shards = append(out.Shards, r)
+	}
+	out.Aggregates = aggregate(out.Shards)
+	rep.CampaignDone(out.Elapsed)
+	return out, nil
+}

@@ -1,0 +1,74 @@
+package campaign
+
+import (
+	"bytes"
+	"io"
+	"sync"
+)
+
+// SyncWriter serializes line-oriented output from concurrent shards
+// onto one underlying writer. Each shard obtains its own view with
+// Shard(prefix); views buffer partial writes and emit only complete
+// lines, each written atomically under the shared mutex with the
+// shard's prefix — so parallel shards never interleave mid-line.
+type SyncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewSyncWriter wraps w for shared use by concurrent shard views.
+func NewSyncWriter(w io.Writer) *SyncWriter {
+	return &SyncWriter{w: w}
+}
+
+// Shard returns a line-buffered writer view for one shard. The view
+// itself is not concurrency-safe — it belongs to a single shard's
+// goroutine — but any number of views may write concurrently. Close
+// flushes a trailing partial line (newline-terminated).
+func (s *SyncWriter) Shard(prefix string) io.WriteCloser {
+	return &lineWriter{parent: s, prefix: "[" + prefix + "] "}
+}
+
+func (s *SyncWriter) writeLine(prefix string, line []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := io.WriteString(s.w, prefix); err != nil {
+		return err
+	}
+	_, err := s.w.Write(line)
+	return err
+}
+
+type lineWriter struct {
+	parent *SyncWriter
+	prefix string
+	buf    bytes.Buffer
+}
+
+func (l *lineWriter) Write(p []byte) (int, error) {
+	l.buf.Write(p)
+	for {
+		b := l.buf.Bytes()
+		nl := bytes.IndexByte(b, '\n')
+		if nl < 0 {
+			return len(p), nil
+		}
+		line := make([]byte, nl+1)
+		copy(line, b[:nl+1])
+		l.buf.Next(nl + 1)
+		if err := l.parent.writeLine(l.prefix, line); err != nil {
+			return len(p), err
+		}
+	}
+}
+
+// Close flushes any buffered partial line, terminating it with a
+// newline so the shared output stays line-structured.
+func (l *lineWriter) Close() error {
+	if l.buf.Len() == 0 {
+		return nil
+	}
+	line := append(l.buf.Bytes(), '\n')
+	l.buf.Reset()
+	return l.parent.writeLine(l.prefix, line)
+}

@@ -19,12 +19,18 @@ type AblationRow struct {
 	Censored bool
 }
 
-// runLifetime executes one lifetime run for an ablation, leaving the
-// network weights untouched.
-func runLifetime(net *nn.Network, b *Bundle, sc lifetime.Scenario, p device.Params, cfg lifetime.Config) (lifetime.Result, error) {
-	snap := net.SnapshotParams()
-	defer net.RestoreParams(snap)
-	return lifetime.Run(net, b.TrainDS, sc, p, AgingModel(), TempK, cfg)
+// runLifetime executes one lifetime run for an ablation under the
+// bundle's network lock, leaving the network weights untouched.
+func runLifetime(opt Options, net *nn.Network, b *Bundle, sc lifetime.Scenario, p device.Params, cfg lifetime.Config) (lifetime.Result, error) {
+	var res lifetime.Result
+	err := b.Exclusive(func() error {
+		snap := net.SnapshotParams()
+		defer net.RestoreParams(snap)
+		var err error
+		res, err = lifetime.RunCtx(opt.Context(), net, b.TrainDS, sc, p, AgingModel(), TempK, cfg)
+		return err
+	})
+	return res, err
 }
 
 // AblationStressModel compares the power-proportional stress model (the
@@ -56,7 +62,7 @@ func AblationStressModel(opt Options) ([]AblationRow, error) {
 			sc  lifetime.Scenario
 			net *nn.Network
 		}{{lifetime.TT, b.Normal}, {lifetime.STT, b.Skewed}} {
-			res, err := runLifetime(spec.net, b, spec.sc, p, cfg)
+			res, err := runLifetime(opt, spec.net, b, spec.sc, p, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -88,7 +94,7 @@ func AblationTracingDensity(opt Options) ([]AblationRow, error) {
 		cfg := lifetimeConfig(opt, target)
 		cfg.TraceStride = stride
 		cfg.BurnInStress = 3
-		res, err := runLifetime(b.Skewed, b, lifetime.STAT, DeviceParams(), cfg)
+		res, err := runLifetime(opt, b.Skewed, b, lifetime.STAT, DeviceParams(), cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -121,7 +127,7 @@ func AblationLevels(opt Options) ([]AblationRow, error) {
 		{"32 levels [14]", device.Params32()},
 		{"64 levels [15]", device.Params64()},
 	} {
-		res, err := runLifetime(b.Skewed, b, lifetime.STAT, variant.p, cfg)
+		res, err := runLifetime(opt, b.Skewed, b, lifetime.STAT, variant.p, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -153,7 +159,7 @@ func AblationRangePolicy(opt Options) ([]AblationRow, error) {
 		p := pol
 		cfg.PolicyOverride = &p
 		cfg.BurnInStress = 3
-		res, err := runLifetime(b.Skewed, b, lifetime.STAT, DeviceParams(), cfg)
+		res, err := runLifetime(opt, b.Skewed, b, lifetime.STAT, DeviceParams(), cfg)
 		if err != nil {
 			return nil, err
 		}

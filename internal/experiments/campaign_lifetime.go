@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"context"
+	"io"
+
+	"memlife/internal/campaign"
+)
+
+// CampaignResolver adapts the experiment registry to the campaign
+// engine: every experiment with a Metrics hook becomes shard-runnable.
+// The indirection keeps the dependency arrow pointing one way —
+// campaign never imports experiments.
+func CampaignResolver() campaign.Resolver {
+	return func(id string) (campaign.RunnerFunc, bool) {
+		e, ok := ByID(id)
+		if !ok || e.Metrics == nil {
+			return nil, false
+		}
+		metrics := e.Metrics
+		return func(ctx context.Context, s campaign.Shard, log io.Writer) (campaign.Metrics, error) {
+			m, err := metrics(Options{Fast: s.Fast, Seed: s.Seed, Log: log, Ctx: ctx})
+			return campaign.Metrics(m), err
+		}, true
+	}
+}
+
+// CampaignLifetimeSeeds is the seed count of the campaign-lifetime
+// experiment per mode (full mode buys tighter confidence intervals).
+func CampaignLifetimeSeeds(fast bool) int {
+	if fast {
+		return 3
+	}
+	return 5
+}
+
+// CampaignLifetime reruns the Table I lifetime comparison and the fault
+// sweep across N seeds through the campaign engine and reports
+// per-metric mean/stddev/95% CI — the multi-seed robustness check the
+// single-seed tables cannot give.
+func CampaignLifetime(opt Options) (*campaign.Result, error) {
+	spec := campaign.Spec{
+		Experiments: []string{"table1", "fault-sweep"},
+		Seeds:       CampaignLifetimeSeeds(opt.Fast),
+		BaseSeed:    opt.Seed,
+		Fast:        opt.Fast,
+	}
+	cfg := campaign.Config{
+		Resolve: CampaignResolver(),
+		Log:     opt.Log,
+	}
+	if opt.Log != nil {
+		cfg.Reporter = campaign.NewLogReporter(opt.Log)
+	}
+	return campaign.Run(opt.Context(), spec, cfg)
+}
+
+func init() {
+	register(Experiment{
+		ID:    "campaign-lifetime",
+		Title: "Campaign: Table I + fault sweep across seeds (mean/std/95% CI)",
+		Meta:  true,
+		Run: func(w io.Writer, opt Options) error {
+			res, err := CampaignLifetime(opt)
+			if err != nil {
+				return err
+			}
+			res.RenderText(w)
+			return nil
+		},
+	})
+}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"io"
 
+	"memlife/internal/aging"
 	"memlife/internal/analysis"
 	"memlife/internal/crossbar"
+	"memlife/internal/device"
 	"memlife/internal/nn"
 )
 
@@ -38,6 +40,13 @@ func Differential(opt Options) ([]DifferentialRow, error) {
 	m := AgingModel()
 
 	var rows []DifferentialRow
+	err = b.Exclusive(func() error { // reads live weights; lock out lifetime sims
+		return differentialRows(b, p, m, &rows)
+	})
+	return rows, err
+}
+
+func differentialRows(b *Bundle, p device.Params, m aging.Model, rows *[]DifferentialRow) error {
 	for _, variant := range []struct {
 		name string
 		net  *nn.Network
@@ -47,7 +56,7 @@ func Differential(opt Options) ([]DifferentialRow, error) {
 
 			single, err := crossbar.New(w.Dim(0), w.Dim(1), p, m, TempK)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			single.MapWeights(w, p.RminFresh, p.RmaxFresh)
 			gMin, gMax := p.GminFresh(), p.GmaxFresh()
@@ -58,7 +67,7 @@ func Differential(opt Options) ([]DifferentialRow, error) {
 					n++
 				}
 			}
-			rows = append(rows, DifferentialRow{
+			*rows = append(*rows, DifferentialRow{
 				Network: b.Name, Weights: variant.name, Scheme: "single (eq. 4)",
 				Devices:            1,
 				MeanRelConductance: rel / float64(n),
@@ -67,10 +76,10 @@ func Differential(opt Options) ([]DifferentialRow, error) {
 
 			diff, err := crossbar.NewDifferential(w.Dim(0), w.Dim(1), p, m, TempK)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			diff.MapWeights(w)
-			rows = append(rows, DifferentialRow{
+			*rows = append(*rows, DifferentialRow{
 				Network: b.Name, Weights: variant.name, Scheme: "differential pair",
 				Devices:            2,
 				MeanRelConductance: diff.MeanRelConductance(),
@@ -78,7 +87,7 @@ func Differential(opt Options) ([]DifferentialRow, error) {
 			})
 		}
 	}
-	return rows, nil
+	return nil
 }
 
 func init() {

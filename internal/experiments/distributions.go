@@ -86,7 +86,12 @@ func Fig3(opt Options) (DistributionResult, error) {
 	if err != nil {
 		return DistributionResult{}, err
 	}
-	return distributions(b.Normal, b.Name, false), nil
+	var out DistributionResult
+	b.Exclusive(func() error { // reads race with concurrent lifetime sims
+		out = distributions(b.Normal, b.Name, false)
+		return nil
+	})
+	return out, nil
 }
 
 // Fig6 reproduces Fig. 6: distributions after skewed training.
@@ -95,7 +100,12 @@ func Fig6(opt Options) (DistributionResult, error) {
 	if err != nil {
 		return DistributionResult{}, err
 	}
-	return distributions(b.Skewed, b.Name, true), nil
+	var out DistributionResult
+	b.Exclusive(func() error {
+		out = distributions(b.Skewed, b.Name, true)
+		return nil
+	})
+	return out, nil
 }
 
 func renderDistributions(w io.Writer, fig string, d DistributionResult) {
@@ -130,17 +140,26 @@ func Fig7(opt Options) (Fig7Result, error) {
 	if err != nil {
 		return Fig7Result{}, err
 	}
-	stats := train.NetworkStats(b.Normal)
-	beta := b.Skew.BetaFactor * stats[0].Std
+	var (
+		beta       float64
+		wMin, wMax float64
+		weightHist analysis.Histogram
+	)
+	b.Exclusive(func() error {
+		stats := train.NetworkStats(b.Normal)
+		beta = b.Skew.BetaFactor * stats[0].Std
+		wp := b.Normal.WeightParams()[0]
+		wMin, wMax = wp.W.MinMax()
+		weightHist = analysis.NewHistogram(wp.W.Data(), 16)
+		return nil
+	})
 	reg, err := train.NewSkewed(b.Skew.Lambda1, b.Skew.Lambda2, nil)
 	if err != nil {
 		return Fig7Result{}, err
 	}
-	wp := b.Normal.WeightParams()[0]
-	wMin, wMax := wp.W.MinMax()
 	out := Fig7Result{
 		Beta: beta, Lambda1: b.Skew.Lambda1, Lambda2: b.Skew.Lambda2,
-		WeightHist: analysis.NewHistogram(wp.W.Data(), 16),
+		WeightHist: weightHist,
 	}
 	out.Penalty.Name = "two-segment penalty R1/R2"
 	const samples = 41
@@ -167,16 +186,21 @@ func Fig9(opt Options) (Fig9Result, error) {
 	if err != nil {
 		return Fig9Result{}, err
 	}
-	layers := b.Skewed.WeightLayers()
-	third := layers[2] // conv3, the paper's example layer
-	w := third.Param.W.Data()
-	return Fig9Result{
-		Network:  b.Name,
-		Layer:    third.Param.Name,
-		Hist:     analysis.NewHistogram(w, 16),
-		Mean:     third.Param.W.Mean(),
-		Skewness: train.SkewnessOf(w),
-	}, nil
+	var out Fig9Result
+	b.Exclusive(func() error {
+		layers := b.Skewed.WeightLayers()
+		third := layers[2] // conv3, the paper's example layer
+		w := third.Param.W.Data()
+		out = Fig9Result{
+			Network:  b.Name,
+			Layer:    third.Param.Name,
+			Hist:     analysis.NewHistogram(w, 16),
+			Mean:     third.Param.W.Mean(),
+			Skewness: train.SkewnessOf(w),
+		}
+		return nil
+	})
+	return out, nil
 }
 
 func init() {

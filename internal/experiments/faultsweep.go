@@ -27,7 +27,7 @@ func FaultSweepFaults(rate float64, seed int64) fault.Config {
 		// All stuck devices fuse at LRS: the max-conductance polarity,
 		// whose parasitic column current dominates the accuracy damage
 		// (a stuck-HRS cell merely loses one weight).
-		LRSFrac:       1.0,
+		LRSFrac: 1.0,
 		// Transient write failures scale steeply with the defect rate
 		// (a worse process corner degrades write margin array-wide), so
 		// retries burn systematically more endurance at every step of
@@ -109,9 +109,14 @@ func FaultSweep(opt Options) ([]FaultSweepPoint, error) {
 		cfg.Faults = FaultSweepFaults(a.rate, opt.Seed)
 		cfg.FaultAwareRemap = a.aware
 		cfg.DegradedAccFrac = 0.5
-		snap := a.net.SnapshotParams()
-		res, err := lifetime.Run(a.net, b.TrainDS, a.sc, DeviceParams(), AgingModel(), TempK, cfg)
-		a.net.RestoreParams(snap)
+		var res lifetime.Result
+		err := b.Exclusive(func() error {
+			snap := a.net.SnapshotParams()
+			defer a.net.RestoreParams(snap)
+			var err error
+			res, err = lifetime.RunCtx(opt.Context(), a.net, b.TrainDS, a.sc, DeviceParams(), AgingModel(), TempK, cfg)
+			return err
+		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fault-sweep rate=%g %s: %w", a.rate, a.sc, err)
 		}
@@ -171,8 +176,9 @@ func renderFaultSweep(w io.Writer, points []FaultSweepPoint) {
 
 func init() {
 	register(Experiment{
-		ID:    "fault-sweep",
-		Title: "Fault sweep: lifetime vs stuck-device rate under fault-tolerant operation",
+		ID:      "fault-sweep",
+		Title:   "Fault sweep: lifetime vs stuck-device rate under fault-tolerant operation",
+		Metrics: faultSweepMetrics,
 		Run: func(w io.Writer, opt Options) error {
 			points, err := FaultSweep(opt)
 			if err != nil {

@@ -46,8 +46,9 @@ func Fig4(opt Options) ([]Fig4Point, error) {
 
 func init() {
 	register(Experiment{
-		ID:    "fig4",
-		Title: "Fig. 4: aged resistance range and usable levels vs programming stress",
+		ID:      "fig4",
+		Title:   "Fig. 4: aged resistance range and usable levels vs programming stress",
+		Metrics: fig4Metrics,
 		Run: func(w io.Writer, opt Options) error {
 			pts, err := Fig4(opt)
 			if err != nil {

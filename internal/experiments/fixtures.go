@@ -13,28 +13,51 @@ import (
 	"memlife/internal/train"
 )
 
-// bundleCache memoizes trained bundles per (kind, fast, seed) so a run
-// of several experiments trains each fixture only once. Consumers that
-// mutate the cached networks (the lifetime simulations overwrite live
-// weights) snapshot and restore around their use, as all drivers do.
+// bundleCache memoizes trained bundles per (kind, fast, seed) with
+// per-key singleflight: the map mutex is held only for entry lookup,
+// and each entry trains under its own sync.Once — so concurrent shards
+// needing *different* fixtures train in parallel, while shards racing
+// for the *same* fixture train it exactly once and share the result.
+// Consumers that mutate the cached networks (the lifetime simulations
+// overwrite live weights) do so under Bundle.Exclusive, snapshotting
+// and restoring around their use, as all drivers do.
 var bundleCache = struct {
 	sync.Mutex
-	m map[string]*Bundle
-}{m: make(map[string]*Bundle)}
+	m map[string]*bundleEntry
+}{m: make(map[string]*bundleEntry)}
+
+type bundleEntry struct {
+	once sync.Once
+	b    *Bundle
+	err  error
+}
 
 func cachedBundle(kind string, opt Options, build func(Options) (*Bundle, error)) (*Bundle, error) {
 	key := fmt.Sprintf("%s|fast=%v|seed=%d", kind, opt.Fast, opt.Seed)
 	bundleCache.Lock()
-	defer bundleCache.Unlock()
-	if b, ok := bundleCache.m[key]; ok {
-		return b, nil
+	e, ok := bundleCache.m[key]
+	if !ok {
+		e = &bundleEntry{}
+		bundleCache.m[key] = e
 	}
-	b, err := build(opt)
-	if err != nil {
-		return nil, err
+	bundleCache.Unlock()
+	e.once.Do(func() {
+		if err := opt.Err(); err != nil {
+			e.err = err
+			return
+		}
+		e.b, e.err = build(opt)
+	})
+	if e.err != nil {
+		// Failed builds (including cancelled ones) are not cached: drop
+		// the entry so a later call can retry.
+		bundleCache.Lock()
+		if bundleCache.m[key] == e {
+			delete(bundleCache.m, key)
+		}
+		bundleCache.Unlock()
 	}
-	bundleCache.m[key] = b
-	return b, nil
+	return e.b, e.err
 }
 
 // SkewParams are the skewed-training constants of Table II: the
@@ -71,6 +94,25 @@ type Bundle struct {
 	Skewed      *nn.Network
 	SkewedAcc   float64
 	Skew        SkewParams
+
+	// mu serializes access to the live networks. Bundles are shared by
+	// every experiment of a (fast, seed) configuration, and both the
+	// lifetime simulations (which overwrite live weights and restore a
+	// snapshot afterwards) and the distribution readers touch the same
+	// parameter tensors — unguarded concurrent use would race.
+	mu sync.Mutex
+}
+
+// Exclusive runs f while holding the bundle's network lock. Every
+// driver window that mounts, mutates, or reads the cached networks
+// runs under it, which is what makes experiments safe to execute
+// concurrently (campaign shards, parallel -all) while keeping their
+// output identical to a sequential run. The lock is not reentrant: do
+// not nest Exclusive calls.
+func (b *Bundle) Exclusive(f func() error) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return f()
 }
 
 // DeviceParams returns the memristor technology used by all experiments.
@@ -164,6 +206,9 @@ func makeBundle(name, dsName string, trainDS, testDS *dataset.Dataset,
 		return nil, fmt.Errorf("experiments: %s normal training: %w", name, err)
 	}
 
+	if err := opt.Err(); err != nil {
+		return nil, err
+	}
 	betas := train.BetasFromNetwork(normal, skew.BetaFactor)
 	reg, err := train.NewSkewed(skew.Lambda1, skew.Lambda2, betas)
 	if err != nil {
@@ -220,11 +265,18 @@ func scenarioTarget(b *Bundle, opt Options) (float64, error) {
 	if opt.Fast {
 		evalN = 64
 	}
-	tn, err := lifetime.SuggestTarget(b.Normal, b.TrainDS, DeviceParams(), AgingModel(), TempK, evalN, margin)
-	if err != nil {
-		return 0, err
-	}
-	ts, err := lifetime.SuggestTarget(b.Skewed, b.TrainDS, DeviceParams(), AgingModel(), TempK, evalN, margin)
+	var tn, ts float64
+	err := b.Exclusive(func() error {
+		// SuggestTarget maps the network (overwriting live weights
+		// before restoring its snapshot), so it needs the lock.
+		var err error
+		tn, err = lifetime.SuggestTarget(b.Normal, b.TrainDS, DeviceParams(), AgingModel(), TempK, evalN, margin)
+		if err != nil {
+			return err
+		}
+		ts, err = lifetime.SuggestTarget(b.Skewed, b.TrainDS, DeviceParams(), AgingModel(), TempK, evalN, margin)
+		return err
+	})
 	if err != nil {
 		return 0, err
 	}

@@ -30,9 +30,14 @@ func fig10For(b *Bundle, opt Options) (Fig10Result, error) {
 	cfg := lifetimeConfig(opt, target)
 
 	run := func(net *nn.Network, sc lifetime.Scenario, series *analysis.Series) (int64, error) {
-		snap := net.SnapshotParams()
-		defer net.RestoreParams(snap)
-		res, err := lifetime.Run(net, b.TrainDS, sc, DeviceParams(), AgingModel(), TempK, cfg)
+		var res lifetime.Result
+		err := b.Exclusive(func() error {
+			snap := net.SnapshotParams()
+			defer net.RestoreParams(snap)
+			var err error
+			res, err = lifetime.RunCtx(opt.Context(), net, b.TrainDS, sc, DeviceParams(), AgingModel(), TempK, cfg)
+			return err
+		})
 		if err != nil {
 			return 0, err
 		}
@@ -93,9 +98,14 @@ func Fig11(opt Options) (Fig11Result, error) {
 		return out, err
 	}
 	cfg := lifetimeConfig(opt, target)
-	snap := b.Normal.SnapshotParams()
-	defer b.Normal.RestoreParams(snap)
-	res, err := lifetime.Run(b.Normal, b.TrainDS, lifetime.TT, DeviceParams(), AgingModel(), TempK, cfg)
+	var res lifetime.Result
+	err = b.Exclusive(func() error {
+		snap := b.Normal.SnapshotParams()
+		defer b.Normal.RestoreParams(snap)
+		var err error
+		res, err = lifetime.RunCtx(opt.Context(), b.Normal, b.TrainDS, lifetime.TT, DeviceParams(), AgingModel(), TempK, cfg)
+		return err
+	})
 	if err != nil {
 		return out, err
 	}

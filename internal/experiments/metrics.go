@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"memlife/internal/lifetime"
+)
+
+// This file adapts experiment drivers to the campaign engine: each
+// converter runs the driver once and flattens its result rows into the
+// flat metric map the campaign aggregates over seeds. Keys must be
+// stable across seeds (no values inside keys that vary per run) so
+// per-metric statistics group correctly.
+
+// metricSlug derives a short, stable key fragment from a display name:
+// the lowercased portion before any parenthesised qualifier, with
+// spaces collapsed to dashes ("LeNet-5 (MNIST)" -> "lenet-5").
+func metricSlug(name string) string {
+	if i := strings.IndexByte(name, '('); i >= 0 {
+		name = name[:i]
+	}
+	name = strings.ToLower(strings.TrimSpace(name))
+	return strings.ReplaceAll(name, " ", "-")
+}
+
+// scenarioSlug flattens a lifetime scenario name into a key fragment:
+// "ST+AT" -> "stat".
+func scenarioSlug(sc lifetime.Scenario) string {
+	return strings.ToLower(strings.ReplaceAll(sc.String(), "+", ""))
+}
+
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// table1Metrics flattens Table I into per-network metrics.
+func table1Metrics(opt Options) (map[string]float64, error) {
+	rows, err := Table1(opt)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]float64)
+	for _, r := range rows {
+		k := metricSlug(r.Network)
+		m[k+"/acc_normal"] = r.AccNormal
+		m[k+"/acc_skewed"] = r.AccSkewed
+		m[k+"/life_tt"] = float64(r.LifeTT)
+		m[k+"/life_stt"] = float64(r.LifeSTT)
+		m[k+"/life_stat"] = float64(r.LifeSTAT)
+		m[k+"/ratio_stt"] = r.RatioSTT
+		m[k+"/ratio_stat"] = r.RatioSTAT
+		m[k+"/censored"] = boolMetric(r.CensoredTT || r.CensoredSTT || r.CensoredSTAT)
+	}
+	return m, nil
+}
+
+// faultSweepMetrics flattens the fault sweep into per-arm metrics. The
+// stuck-rate axis is part of the key (the rates are a fixed grid, not
+// per-seed values), so each (rate, scenario, arm) lifetime aggregates
+// into its own distribution.
+func faultSweepMetrics(opt Options) (map[string]float64, error) {
+	points, err := FaultSweep(opt)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]float64)
+	for _, pt := range points {
+		k := fmt.Sprintf("r%g/%s", pt.Rate*100, scenarioSlug(pt.Scenario))
+		if !pt.Aware {
+			k += "-noremap"
+		}
+		m[k+"/life"] = float64(pt.Lifetime)
+		m[k+"/final_acc"] = pt.FinalAcc
+		m[k+"/stuck"] = float64(pt.Stuck)
+		m[k+"/degraded_at"] = float64(pt.DegradedAt)
+	}
+	return m, nil
+}
+
+// fig4Metrics summarises the single-device aging trajectory. It is
+// deterministic (no RNG), which makes it the cheap vehicle for campaign
+// plumbing tests: every seed must produce identical metrics.
+func fig4Metrics(opt Options) (map[string]float64, error) {
+	pts, err := Fig4(opt)
+	if err != nil {
+		return nil, err
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	return map[string]float64{
+		"levels_fresh": float64(first.UsableLevels),
+		"levels_final": float64(last.UsableLevels),
+		"upper_final":  last.UpperBound,
+		"lower_final":  last.LowerBound,
+		"points":       float64(len(pts)),
+	}, nil
+}

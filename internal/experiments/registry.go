@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -20,7 +21,30 @@ type Options struct {
 	// Seed makes runs reproducible.
 	Seed int64
 	// Log receives training/simulation progress; nil silences it.
+	// When experiments run concurrently (campaign shards, parallel
+	// -all), pass per-shard views of a campaign.SyncWriter so lines
+	// never interleave.
 	Log io.Writer
+	// Ctx carries cancellation for long runs; nil means Background.
+	// Drivers check it between heavy stages and thread it into the
+	// lifetime simulations.
+	Ctx context.Context
+}
+
+// Context returns the options' context, never nil.
+func (o Options) Context() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
+}
+
+// Err reports the context's cancellation state (nil when no context).
+func (o Options) Err() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
 }
 
 // DefaultOptions returns full-scale options with seed 1.
@@ -31,6 +55,13 @@ type Experiment struct {
 	ID    string
 	Title string
 	Run   func(w io.Writer, opt Options) error
+	// Metrics, when non-nil, runs the experiment and reduces it to
+	// scalar metrics — the hook that makes the experiment campaign-
+	// runnable (multi-seed aggregation with confidence intervals).
+	Metrics func(opt Options) (map[string]float64, error)
+	// Meta marks experiments that orchestrate other experiments (the
+	// campaign drivers); -all skips them so no experiment runs twice.
+	Meta bool
 }
 
 var registry = map[string]Experiment{}

@@ -69,7 +69,7 @@ func RelatedWork(opt Options) ([]RelatedWorkRow, error) {
 		if r.sc != lifetime.TT {
 			net = b.Skewed
 		}
-		res, err := runLifetime(net, b, r.sc, r.p, cfg)
+		res, err := runLifetime(opt, net, b, r.sc, r.p, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -54,9 +54,14 @@ func Table1BundleWithConfig(b *Bundle, opt Options, cfg lifetime.Config) (Table1
 		{lifetime.STAT, b.Skewed},
 	}
 	for _, spec := range specs {
-		snap := spec.net.SnapshotParams()
-		res, err := lifetime.Run(spec.net, b.TrainDS, spec.sc, DeviceParams(), AgingModel(), TempK, cfg)
-		spec.net.RestoreParams(snap)
+		var res lifetime.Result
+		err := b.Exclusive(func() error {
+			snap := spec.net.SnapshotParams()
+			defer spec.net.RestoreParams(snap)
+			var err error
+			res, err = lifetime.RunCtx(opt.Context(), spec.net, b.TrainDS, spec.sc, DeviceParams(), AgingModel(), TempK, cfg)
+			return err
+		})
 		if err != nil {
 			return row, fmt.Errorf("experiments: table1 %s %s: %w", b.Name, spec.sc, err)
 		}
@@ -126,8 +131,9 @@ func renderTable1(w io.Writer, rows []Table1Row) {
 
 func init() {
 	register(Experiment{
-		ID:    "table1",
-		Title: "Table I: accuracy and lifetime (T+T vs ST+T vs ST+AT)",
+		ID:      "table1",
+		Title:   "Table I: accuracy and lifetime (T+T vs ST+T vs ST+AT)",
+		Metrics: table1Metrics,
 		Run: func(w io.Writer, opt Options) error {
 			rows, err := Table1(opt)
 			if err != nil {

@@ -42,9 +42,14 @@ func TemperatureSweep(opt Options) ([]TemperatureRow, error) {
 			net *nn.Network
 		}{{lifetime.TT, b.Normal}, {lifetime.STT, b.Skewed}} {
 			cfg := lifetimeConfig(opt, target)
-			snap := spec.net.SnapshotParams()
-			res, err := lifetime.Run(spec.net, b.TrainDS, spec.sc, DeviceParams(), m, tK, cfg)
-			spec.net.RestoreParams(snap)
+			var res lifetime.Result
+			err := b.Exclusive(func() error {
+				snap := spec.net.SnapshotParams()
+				defer spec.net.RestoreParams(snap)
+				var err error
+				res, err = lifetime.RunCtx(opt.Context(), spec.net, b.TrainDS, spec.sc, DeviceParams(), m, tK, cfg)
+				return err
+			})
 			if err != nil {
 				return nil, err
 			}

@@ -27,6 +27,7 @@
 package lifetime
 
 import (
+	"context"
 	"fmt"
 
 	"memlife/internal/aging"
@@ -258,9 +259,20 @@ func (r Result) AccuracyCurve() (apps []int64, acc []float64) {
 // network's current weights are the mapping targets; trainDS supplies
 // tuning batches and the evaluation subset.
 func Run(net *nn.Network, trainDS *dataset.Dataset, sc Scenario, p device.Params, model aging.Model, tempK float64, cfg Config) (Result, error) {
+	return RunCtx(context.Background(), net, trainDS, sc, p, model, tempK, cfg)
+}
+
+// RunCtx is Run with cancellation: the simulation checks ctx before
+// the initial mapping and at every deployment cycle, returning
+// ctx.Err() (wrapped) as soon as the context is cancelled or times
+// out. A cancelled run's partial Result is not meaningful.
+func RunCtx(ctx context.Context, net *nn.Network, trainDS *dataset.Dataset, sc Scenario, p device.Params, model aging.Model, tempK float64, cfg Config) (Result, error) {
 	res := Result{Scenario: sc}
 	if err := cfg.Validate(); err != nil {
 		return res, err
+	}
+	if err := ctx.Err(); err != nil {
+		return res, fmt.Errorf("lifetime: %w", err)
 	}
 	mn, err := crossbar.NewMappedNetwork(net, p, model, tempK)
 	if err != nil {
@@ -314,6 +326,9 @@ func Run(net *nn.Network, trainDS *dataset.Dataset, sc Scenario, p device.Params
 
 	var apps int64
 	for cycle := 1; cycle <= cfg.MaxCycles; cycle++ {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("lifetime: cycle %d: %w", cycle, err)
+		}
 		// Applications run: read-disturb drift accumulates, then the
 		// per-application online tuning restores the target accuracy
 		// (Section II-C). Stage 1: retune.
