@@ -397,7 +397,9 @@ func BenchmarkEffectiveWeights(b *testing.B) {
 	cb.MapWeights(w, p.RminFresh, p.RmaxFresh)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cb.EffectiveWeights()
+		if _, err := cb.EffectiveWeights(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

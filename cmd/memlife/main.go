@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"memlife/internal/bench"
 	"memlife/internal/campaign"
 	"memlife/internal/experiments"
 )
@@ -50,11 +51,17 @@ type cliConfig struct {
 	seed       int64
 	verb       bool
 	outDir     string
-	seeds      int
-	workers    int
+	seeds       int
+	workers     int
+	evalWorkers int
 	jsonOut    string
 	checkpoint string
 	resume     bool
+
+	bench         bool
+	benchOut      string
+	benchBaseline string
+	benchTol      float64
 }
 
 // run is the testable CLI entry point: it parses args, executes the
@@ -74,9 +81,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&c.outDir, "out", "", "also write each experiment's output to <dir>/<id>.txt")
 	fs.IntVar(&c.seeds, "seeds", 1, "campaign: seeds per experiment (>1 selects campaign mode)")
 	fs.IntVar(&c.workers, "workers", 0, "bound on parallel workers (0 = GOMAXPROCS)")
+	fs.IntVar(&c.evalWorkers, "eval-workers", 0, "forward-pass parallelism inside each evaluation (bit-identical results; 0 = serial)")
 	fs.StringVar(&c.jsonOut, "json", "", "campaign: write aggregated results as canonical JSON to this file")
 	fs.StringVar(&c.checkpoint, "checkpoint", "", "campaign: shard journal path (default <json>.ckpt.jsonl)")
 	fs.BoolVar(&c.resume, "resume", false, "campaign: skip shards already journaled in the checkpoint")
+	fs.BoolVar(&c.bench, "bench", false, "run the micro-benchmark harness instead of experiments")
+	fs.StringVar(&c.benchOut, "bench-out", "", "bench: write the canonical JSON report to this file (default stdout)")
+	fs.StringVar(&c.benchBaseline, "bench-baseline", "", "bench: compare against this committed baseline report and fail on regression")
+	fs.Float64Var(&c.benchTol, "bench-tol", 4, "bench: allowed ns/op growth factor over the baseline (4 = up to 5x slower; generous because baselines cross machines)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -95,6 +107,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	campaignMode := c.seeds > 1 || c.jsonOut != "" || c.resume || c.checkpoint != ""
 	switch {
+	case c.bench:
+		if c.all || c.runIDs != "" || campaignMode {
+			fmt.Fprintln(stderr, "memlife: -bench runs the benchmark harness and takes no experiment selection")
+			return 2
+		}
+		return runBench(c, stdout, stderr)
 	case c.list:
 		for _, e := range experiments.All() {
 			fmt.Fprintf(stdout, "%-18s %s\n", e.ID, e.Title)
@@ -132,6 +150,50 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+}
+
+// runBench runs the registered micro-kernels through the bench harness,
+// writes the canonical JSON report, and optionally gates against a
+// committed baseline (-bench-baseline / -bench-tol). See internal/bench.
+func runBench(c cliConfig, stdout, stderr io.Writer) int {
+	rep, err := bench.RunAll(time.Now().Format("2006-01-02"))
+	if err != nil {
+		fmt.Fprintf(stderr, "memlife: %v\n", err)
+		return 1
+	}
+	var w io.Writer = stdout
+	if c.benchOut != "" {
+		f, err := os.Create(c.benchOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "memlife: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		fmt.Fprintf(stderr, "memlife: writing bench report: %v\n", err)
+		return 1
+	}
+	if c.benchBaseline != "" {
+		f, err := os.Open(c.benchBaseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "memlife: %v\n", err)
+			return 1
+		}
+		base, err := bench.ReadReport(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "memlife: %v\n", err)
+			return 1
+		}
+		if err := bench.Compare(base, rep, c.benchTol); err != nil {
+			fmt.Fprintf(stderr, "memlife: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "memlife: bench within tolerance of %s\n", c.benchBaseline)
+	}
+	return 0
 }
 
 // selectIDs resolves the experiment selection. -all runs every
@@ -174,7 +236,7 @@ func outFile(c cliConfig, id string, stderr io.Writer) (*os.File, int) {
 // runSequential is the single-worker text path: experiments run one at
 // a time, streaming output as they go.
 func runSequential(ctx context.Context, c cliConfig, ids []string, stdout, stderr io.Writer) int {
-	opt := experiments.Options{Fast: c.fast, Seed: c.seed, Ctx: ctx}
+	opt := experiments.Options{Fast: c.fast, Seed: c.seed, Ctx: ctx, Workers: c.evalWorkers}
 	if c.verb {
 		opt.Log = stderr
 	}
@@ -236,7 +298,7 @@ func runParallel(ctx context.Context, c cliConfig, ids []string, workers int, st
 				j.err = runCtx.Err()
 				return
 			}
-			opt := experiments.Options{Fast: c.fast, Seed: c.seed, Ctx: runCtx}
+			opt := experiments.Options{Fast: c.fast, Seed: c.seed, Ctx: runCtx, Workers: c.evalWorkers}
 			var view io.WriteCloser
 			if c.verb {
 				view = logMux.Shard(j.e.ID)

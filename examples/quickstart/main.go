@@ -59,14 +59,21 @@ func run() error {
 		return err
 	}
 	batch := testDS.Batches(testDS.Len(), nil)[0]
-	fmt.Printf("hardware accuracy after mapping: %.3f\n", mn.Accuracy(batch.X, batch.Y))
+	acc, err := mn.Accuracy(batch.X, batch.Y)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hardware accuracy after mapping: %.3f\n", acc)
 	fmt.Printf("programming cost: %d pulses, %.1f stress units\n", mn.TotalPulses(), mn.TotalStress())
 
 	// 4. Read-disturb drift degrades the analog state; online tuning
 	// (Section II-C, eq. (5)) repairs it with sign-based pulses — and
 	// every pulse ages the array a little more.
 	mn.Drift(0.08, tensor.NewRNG(3))
-	fmt.Printf("accuracy after drift: %.3f\n", mn.Accuracy(batch.X, batch.Y))
+	if acc, err = mn.Accuracy(batch.X, batch.Y); err != nil {
+		return err
+	}
+	fmt.Printf("accuracy after drift: %.3f\n", acc)
 
 	trainBatch := trainDS.Batches(96, nil)[0]
 	tuneRes, err := tuning.Tune(mn, trainDS, trainBatch.X, trainBatch.Y, tuning.Config{
@@ -77,7 +84,10 @@ func run() error {
 	}
 	fmt.Printf("tuning: converged=%v in %d iterations (%d pulses)\n",
 		tuneRes.Converged, tuneRes.Iterations, tuneRes.Pulses)
-	fmt.Printf("accuracy after tuning: %.3f\n", mn.Accuracy(batch.X, batch.Y))
+	if acc, err = mn.Accuracy(batch.X, batch.Y); err != nil {
+		return err
+	}
+	fmt.Printf("accuracy after tuning: %.3f\n", acc)
 
 	// 5. Inspect the aging state the pulses left behind.
 	for _, l := range mn.Layers {

@@ -1,0 +1,314 @@
+// Package bench is the programmatic benchmark harness: a registry of
+// named micro-kernels covering the hot read path (cached vs naive VMM
+// and readback, the batched kernel, raw matmul, and weight mapping),
+// run through testing.Benchmark and emitted as a canonical JSON report
+// (BENCH_<date>.json). CI re-runs the kernels and gates on a committed
+// baseline with Compare: ns/op with a generous cross-machine tolerance
+// (it catches order-of-magnitude regressions, not scheduler jitter) and
+// allocs/op tightly (allocation counts are machine-independent). The
+// machine-independent performance claim — the cached read path is at
+// least 3x faster than the naive per-device oracle on repeated reads of
+// the same mapped array — is asserted by TestVMMCachedSpeedup, which
+// measures both kernels in the same process so hardware cancels out.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"testing"
+
+	"memlife/internal/aging"
+	"memlife/internal/crossbar"
+	"memlife/internal/device"
+	"memlife/internal/tensor"
+)
+
+// Result is the measurement of one kernel.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Report is one harness run: environment, date, and per-kernel results
+// sorted by kernel name (the JSON encoding is canonical, so reports
+// diff cleanly).
+type Report struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Results   []Result `json:"results"`
+}
+
+// Get returns the result for the named kernel.
+func (r Report) Get(name string) (Result, bool) {
+	for _, res := range r.Results {
+		if res.Name == name {
+			return res, true
+		}
+	}
+	return Result{}, false
+}
+
+// WriteJSON writes the report as canonical indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	sort.Slice(r.Results, func(i, j int) bool { return r.Results[i].Name < r.Results[j].Name })
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encode report: %w", err)
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// ReadReport parses a report written by WriteJSON.
+func ReadReport(r io.Reader) (Report, error) {
+	var rep Report
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		return Report{}, fmt.Errorf("bench: decode report: %w", err)
+	}
+	return rep, nil
+}
+
+// kernel is one registered micro-benchmark. setup builds the fixture
+// outside the timed region; run is the b.N loop.
+type kernel struct {
+	name string
+	run  func(b *testing.B)
+}
+
+// benchState is the shared fixture: one mapped crossbar (no faults, so
+// reads are pure and draw no RNG), an input vector, an input batch, and
+// a weight matrix. Sized so per-op cost is dominated by the kernel, not
+// the harness.
+const (
+	benchRows  = 64
+	benchCols  = 64
+	benchBatch = 32
+)
+
+func newBenchCrossbar() (*crossbar.Crossbar, *tensor.Tensor, error) {
+	cb, err := crossbar.New(benchRows, benchCols, device.Params32(), aging.DefaultModel(), 300)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := tensor.New(benchRows, benchCols)
+	tensor.NewRNG(17).FillNormal(w, 0, 0.5)
+	p := cb.Params()
+	cb.MapWeights(w, p.RminFresh, p.RmaxFresh)
+	return cb, w, nil
+}
+
+// kernels returns the registry. Each call builds fresh fixtures so
+// kernels cannot contaminate each other through device aging.
+func kernels() ([]kernel, error) {
+	cb, w, err := newBenchCrossbar()
+	if err != nil {
+		return nil, err
+	}
+	x := tensor.New(benchRows)
+	tensor.NewRNG(18).FillNormal(x, 0, 1)
+	xb := tensor.New(benchBatch, benchRows)
+	tensor.NewRNG(19).FillNormal(xb, 0, 1)
+
+	// The repeated-read kernels measure steady-state serving: the SAME
+	// mapped array read b.N (>= 100) times with no mutation in between,
+	// which is exactly the per-application inference pattern the cache
+	// was built for.
+	ks := []kernel{
+		{name: "vmm/cached", run: func(b *testing.B) {
+			if _, err := cb.VMM(x); err != nil { // warm the cache outside the timer
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cb.VMM(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "vmm/naive", run: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cb.VMMNaive(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "effweights/cached", run: func(b *testing.B) {
+			dst := tensor.New(benchRows, benchCols)
+			if err := cb.ReadWeightsInto(dst); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := cb.ReadWeightsInto(dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "effweights/naive", run: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cb.EffectiveWeightsNaive(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "vmmbatch", run: func(b *testing.B) {
+			if _, err := cb.VMMBatch(xb, 0); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cb.VMMBatch(xb, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "matmul", run: func(b *testing.B) {
+			a := tensor.New(benchBatch, benchRows)
+			tensor.NewRNG(20).FillNormal(a, 0, 1)
+			dst := tensor.New(benchBatch, benchCols)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulInto(dst, a, w)
+			}
+		}},
+		{name: "mapweights", run: func(b *testing.B) {
+			// Its own array: repeated programming ages devices, and that
+			// wear must not leak into the read kernels.
+			mcb, mw, err := newBenchCrossbar()
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := mcb.Params()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mcb.MapWeights(mw, p.RminFresh, p.RmaxFresh)
+			}
+		}},
+	}
+	return ks, nil
+}
+
+// Names returns the registered kernel names, sorted.
+func Names() []string {
+	ks, err := kernels()
+	if err != nil {
+		return nil
+	}
+	names := make([]string, len(ks))
+	for i, k := range ks {
+		names[i] = k.name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run measures the named kernels (all of them when names is empty)
+// through testing.Benchmark and returns the report. date is stamped
+// into the report verbatim (the caller owns the clock).
+func Run(date string, names []string) (Report, error) {
+	ks, err := kernels()
+	if err != nil {
+		return Report{}, err
+	}
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	rep := Report{
+		Date:      date,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	matched := 0
+	for _, k := range ks {
+		if len(want) > 0 && !want[k.name] {
+			continue
+		}
+		matched++
+		r := testing.Benchmark(k.run)
+		if r.N == 0 {
+			return Report{}, fmt.Errorf("bench: kernel %s failed (see benchmark log)", k.name)
+		}
+		rep.Results = append(rep.Results, Result{
+			Name:        k.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		})
+	}
+	if len(want) > 0 && matched != len(want) {
+		return Report{}, fmt.Errorf("bench: unknown kernel in %v (known: %v)", names, Names())
+	}
+	sort.Slice(rep.Results, func(i, j int) bool { return rep.Results[i].Name < rep.Results[j].Name })
+	return rep, nil
+}
+
+// RunAll measures every registered kernel.
+func RunAll(date string) (Report, error) { return Run(date, nil) }
+
+// Compare gates cur against the committed baseline. ns/op may grow by
+// at most a factor of (1+tol) — tol is deliberately generous because
+// baselines are recorded on different hardware than CI; the gate exists
+// to catch order-of-magnitude regressions (a cache that silently
+// stopped caching), not scheduler noise. allocs/op is gated tightly
+// (25% + 2 allocs of slack) because allocation counts do not depend on
+// the machine. Kernels present only in cur are ignored (new kernels
+// need no baseline); kernels missing from cur are an error.
+func Compare(base, cur Report, tol float64) error {
+	if tol < 0 {
+		return fmt.Errorf("bench: negative tolerance %g", tol)
+	}
+	var failures []string
+	for _, b := range base.Results {
+		c, ok := cur.Get(b.Name)
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from current run", b.Name))
+			continue
+		}
+		if maxNs := b.NsPerOp * (1 + tol); c.NsPerOp > maxNs {
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op exceeds baseline %.0f ns/op by more than %gx",
+				b.Name, c.NsPerOp, b.NsPerOp, 1+tol))
+		}
+		if maxAllocs := b.AllocsPerOp+b.AllocsPerOp/4+2; c.AllocsPerOp > maxAllocs {
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op exceeds baseline %d allocs/op (limit %d)",
+				b.Name, c.AllocsPerOp, b.AllocsPerOp, maxAllocs))
+		}
+	}
+	if len(failures) > 0 {
+		msg := "bench: regression against baseline:"
+		for _, f := range failures {
+			msg += "\n  " + f
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	return nil
+}
+
+// Speedup returns slow.NsPerOp / fast.NsPerOp from one report — the
+// machine-independent ratio (both kernels ran in the same process).
+func Speedup(r Report, slow, fast string) (float64, error) {
+	s, ok := r.Get(slow)
+	if !ok {
+		return 0, fmt.Errorf("bench: no result for %s", slow)
+	}
+	f, ok := r.Get(fast)
+	if !ok {
+		return 0, fmt.Errorf("bench: no result for %s", fast)
+	}
+	if f.NsPerOp <= 0 {
+		return 0, fmt.Errorf("bench: %s measured %g ns/op", fast, f.NsPerOp)
+	}
+	return s.NsPerOp / f.NsPerOp, nil
+}

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func sampleReport() Report {
+	return Report{
+		Date: "2026-01-01", GoVersion: "go1.24", GOOS: "linux", GOARCH: "amd64",
+		Results: []Result{
+			{Name: "vmm/cached", NsPerOp: 1000, AllocsPerOp: 2, BytesPerOp: 512, Iterations: 100000},
+			{Name: "vmm/naive", NsPerOp: 9000, AllocsPerOp: 4, BytesPerOp: 66000, Iterations: 10000},
+		},
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := sampleReport()
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Date != rep.Date || len(got.Results) != len(rep.Results) {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Results[0] != rep.Results[0] || got.Results[1] != rep.Results[1] {
+		t.Fatalf("results corrupted: %+v", got.Results)
+	}
+}
+
+func TestReportJSONIsCanonical(t *testing.T) {
+	rep := sampleReport()
+	// Shuffle, encode, and require sorted-by-name output.
+	rep.Results[0], rep.Results[1] = rep.Results[1], rep.Results[0]
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if strings.Index(s, "vmm/cached") > strings.Index(s, "vmm/naive") {
+		t.Fatalf("results must encode sorted by name:\n%s", s)
+	}
+	if !strings.HasSuffix(s, "\n") {
+		t.Fatal("canonical report must end with a newline")
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := sampleReport()
+
+	ok := sampleReport() // identical: passes at any tolerance
+	if err := Compare(base, ok, 0); err != nil {
+		t.Fatalf("identical report must pass: %v", err)
+	}
+
+	slow := sampleReport()
+	slow.Results[0].NsPerOp = base.Results[0].NsPerOp * 10
+	if err := Compare(base, slow, 4); err == nil {
+		t.Fatal("10x ns/op regression must fail a 5x gate")
+	} else if !strings.Contains(err.Error(), "vmm/cached") {
+		t.Fatalf("failure must name the kernel: %v", err)
+	}
+	if err := Compare(base, slow, 20); err != nil {
+		t.Fatalf("10x must pass a 21x gate: %v", err)
+	}
+
+	leaky := sampleReport()
+	leaky.Results[0].AllocsPerOp = 40
+	if err := Compare(base, leaky, 4); err == nil {
+		t.Fatal("alloc regression must fail even within the ns tolerance")
+	}
+
+	missing := sampleReport()
+	missing.Results = missing.Results[:1]
+	if err := Compare(base, missing, 4); err == nil {
+		t.Fatal("a kernel missing from the current run must fail the gate")
+	}
+
+	extra := sampleReport()
+	extra.Results = append(extra.Results, Result{Name: "new/kernel", NsPerOp: 1})
+	if err := Compare(base, extra, 4); err != nil {
+		t.Fatalf("kernels without a baseline must be ignored: %v", err)
+	}
+
+	if err := Compare(base, ok, -1); err == nil {
+		t.Fatal("negative tolerance must be rejected")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	rep := sampleReport()
+	r, err := Speedup(rep, "vmm/naive", "vmm/cached")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 9 {
+		t.Fatalf("speedup = %g, want 9", r)
+	}
+	if _, err := Speedup(rep, "absent", "vmm/cached"); err == nil {
+		t.Fatal("unknown kernel must error")
+	}
+}
+
+func TestNamesCoverTheContract(t *testing.T) {
+	want := []string{"effweights/cached", "effweights/naive", "mapweights", "matmul", "vmm/cached", "vmm/naive", "vmmbatch"}
+	got := Names()
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("kernel registry = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kernel registry = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunRejectsUnknownKernel(t *testing.T) {
+	if _, err := Run("d", []string{"no/such/kernel"}); err == nil {
+		t.Fatal("unknown kernel name must be rejected")
+	}
+}
+
+// TestVMMCachedSpeedup is the acceptance check for the cached read
+// path: repeated VMMs against the same mapped array (>= 100 reads; in
+// practice b.N is far larger) must be at least 3x faster through the
+// cache than through the naive per-device oracle. Both kernels run in
+// this process, so the ratio is machine-independent. Skipped in -short
+// runs: testing.Benchmark spends ~1s per kernel.
+func TestVMMCachedSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark measurement in -short mode")
+	}
+	rep, err := Run("test", []string{"vmm/cached", "vmm/naive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, _ := rep.Get("vmm/cached")
+	if cached.Iterations < 100 {
+		t.Fatalf("cached kernel ran only %d reads, want >= 100", cached.Iterations)
+	}
+	ratio, err := Speedup(rep, "vmm/naive", "vmm/cached")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 3 {
+		t.Fatalf("cached VMM speedup %.1fx, want >= 3x", ratio)
+	}
+	t.Logf("cached VMM speedup: %.1fx", ratio)
+}

@@ -1,0 +1,253 @@
+package campaign
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Direct unit tests for the checkpoint journal, complementing the
+// engine-level resume tests in campaign_test.go: these pin the exact
+// tolerance rules of loadCheckpoint (missing file, blank lines, torn
+// tail vs interior corruption, foreign fingerprints) and the append
+// discipline of the journal writer.
+
+func writeRecords(t *testing.T, path string, recs ...checkpointRecord) {
+	t.Helper()
+	var b []byte
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b = append(b, line...)
+		b = append(b, '\n')
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testRecord(fp string, idx int) checkpointRecord {
+	return checkpointRecord{
+		Fingerprint: fp,
+		Index:       idx,
+		Experiment:  "alpha",
+		SeedIndex:   idx,
+		Seed:        ShardSeed(42, idx),
+		Metrics:     Metrics{"value": float64(idx)},
+		ElapsedMS:   5,
+	}
+}
+
+func TestLoadCheckpointMissingFileIsEmpty(t *testing.T) {
+	done, err := loadCheckpoint(filepath.Join(t.TempDir(), "absent.jsonl"), "fp")
+	if err != nil {
+		t.Fatalf("missing checkpoint must read as empty, got %v", err)
+	}
+	if len(done) != 0 {
+		t.Fatalf("missing checkpoint must yield no shards, got %d", len(done))
+	}
+}
+
+func TestLoadCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	writeRecords(t, path, testRecord("fp", 0), testRecord("fp", 3))
+	done, err := loadCheckpoint(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 2 {
+		t.Fatalf("want 2 shards, got %d", len(done))
+	}
+	sr, ok := done[3]
+	if !ok {
+		t.Fatal("shard 3 missing from restored map")
+	}
+	if sr.Shard.Experiment != "alpha" || sr.Shard.SeedIndex != 3 || sr.Shard.Seed != ShardSeed(42, 3) {
+		t.Fatalf("restored shard identity corrupted: %+v", sr.Shard)
+	}
+	if sr.Metrics["value"] != 3 {
+		t.Fatalf("restored metrics corrupted: %+v", sr.Metrics)
+	}
+}
+
+func TestLoadCheckpointSkipsBlankLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	line, err := json.Marshal(testRecord("fp", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := "\n" + string(line) + "\n\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	done, err := loadCheckpoint(path, "fp")
+	if err != nil {
+		t.Fatalf("blank lines must be skipped, got %v", err)
+	}
+	if len(done) != 1 {
+		t.Fatalf("want 1 shard, got %d", len(done))
+	}
+}
+
+// TestLoadCheckpointTornTailTolerated: a malformed FINAL line is the
+// signature of a process killed mid-append; the preceding records must
+// survive and the torn shard simply re-runs.
+func TestLoadCheckpointTornTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	writeRecords(t, path, testRecord("fp", 0), testRecord("fp", 1))
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"fingerprint":"fp","index":2,"metr`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	done, err := loadCheckpoint(path, "fp")
+	if err != nil {
+		t.Fatalf("torn final line must be tolerated, got %v", err)
+	}
+	if len(done) != 2 {
+		t.Fatalf("want the 2 whole records, got %d", len(done))
+	}
+	if _, ok := done[2]; ok {
+		t.Fatal("the torn record must not be restored")
+	}
+}
+
+// TestLoadCheckpointInteriorCorruptionFatal: a malformed line FOLLOWED
+// by a valid one cannot be a torn append — the file is corrupt and
+// resuming from it silently would drop completed work.
+func TestLoadCheckpointInteriorCorruptionFatal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	line0, err := json.Marshal(testRecord("fp", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	line2, err := json.Marshal(testRecord("fp", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := string(line0) + "\n{corrupt}\n" + string(line2) + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadCheckpoint(path, "fp"); err == nil {
+		t.Fatal("interior corruption must be an error")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error must name the corrupt line, got %v", err)
+	}
+}
+
+// TestLoadCheckpointForeignFingerprintFatal: any record from another
+// spec poisons the journal, even when earlier records match.
+func TestLoadCheckpointForeignFingerprintFatal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	writeRecords(t, path, testRecord("fp", 0), testRecord("other", 1))
+	if _, err := loadCheckpoint(path, "fp"); err == nil {
+		t.Fatal("foreign fingerprint must be an error")
+	} else if !strings.Contains(err.Error(), "different campaign") {
+		t.Fatalf("error must explain the mismatch, got %v", err)
+	}
+}
+
+// TestJournalAppendDurable: every append lands as one whole JSON line
+// readable back through loadCheckpoint — without Close — because each
+// record is written and synced before append returns (a killed process
+// loses at most the record being written).
+func TestJournalAppendDurable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for i := 0; i < 3; i++ {
+		if err := j.append(testRecord("fp", i)); err != nil {
+			t.Fatal(err)
+		}
+		// Read back through a fresh descriptor while the journal is
+		// still open, as a resuming process would after a kill.
+		done, err := loadCheckpoint(path, "fp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(done) != i+1 {
+			t.Fatalf("after %d appends: restored %d shards", i+1, len(done))
+		}
+	}
+}
+
+// TestJournalAppendReopensForAppend: resuming opens the same file; new
+// records must extend, not truncate, the survivors.
+func TestJournalAppendReopensForAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(testRecord("fp", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if err := j2.append(testRecord("fp", 1)); err != nil {
+		t.Fatal(err)
+	}
+	done, err := loadCheckpoint(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 2 {
+		t.Fatalf("reopened journal must append, got %d shards", len(done))
+	}
+}
+
+// TestJournalConcurrentAppends: workers journal completions from their
+// own goroutines; under contention every line must still parse and no
+// record may be lost (run with -race to check the locking too).
+func TestJournalConcurrentAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := j.append(testRecord("fp", i)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done, err := loadCheckpoint(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != n {
+		t.Fatalf("want %d journaled shards, got %d", n, len(done))
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := done[i]; !ok {
+			t.Fatalf("shard %d lost under contention", i)
+		}
+	}
+}

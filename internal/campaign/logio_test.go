@@ -1,0 +1,88 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Direct contention tests for SyncWriter, complementing the
+// engine-level TestShardLogsArePrefixedAndWhole: here the fragment
+// boundaries are adversarial (every line arrives byte-by-byte from
+// many goroutines at once), which the engine path never exercises.
+
+// TestSyncWriterLineAtomicityUnderContention: each of 8 views writes
+// its lines one BYTE per Write call while the others do the same; the
+// shared output must still consist only of whole, correctly prefixed
+// lines, with nothing lost and per-view order preserved.
+func TestSyncWriterLineAtomicityUnderContention(t *testing.T) {
+	var out bytes.Buffer
+	sw := NewSyncWriter(&out)
+	const views, lines = 8, 25
+	var wg sync.WaitGroup
+	for v := 0; v < views; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			w := sw.Shard(fmt.Sprintf("v%d", v))
+			defer w.Close()
+			for i := 0; i < lines; i++ {
+				msg := fmt.Sprintf("view %d line %d\n", v, i)
+				for k := 0; k < len(msg); k++ { // worst-case fragmentation
+					if _, err := w.Write([]byte{msg[k]}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(v)
+	}
+	wg.Wait()
+
+	got := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(got) != views*lines {
+		t.Fatalf("want %d whole lines, got %d", views*lines, len(got))
+	}
+	next := make([]int, views) // per-view order check
+	for _, line := range got {
+		var v, i int
+		if _, err := fmt.Sscanf(line, "[v%d] view %d line %d", &v, &v, &i); err != nil {
+			t.Fatalf("mangled line %q: %v", line, err)
+		}
+		if !strings.HasPrefix(line, fmt.Sprintf("[v%d] view %d line %d", v, v, i)) {
+			t.Fatalf("prefix/body mismatch in %q", line)
+		}
+		if i != next[v] {
+			t.Fatalf("view %d lines reordered: got %d, want %d", v, i, next[v])
+		}
+		next[v]++
+	}
+}
+
+// TestSyncWriterBatchedWritesSplitIntoLines: one Write carrying several
+// embedded newlines must emit each line separately prefixed, and hold
+// back the trailing partial until more bytes (or Close) arrive.
+func TestSyncWriterBatchedWritesSplitIntoLines(t *testing.T) {
+	var out bytes.Buffer
+	w := NewSyncWriter(&out).Shard("s")
+	if _, err := w.Write([]byte("one\ntwo\nthr")); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := out.String(), "[s] one\n[s] two\n"; got != want {
+		t.Fatalf("after batched write: got %q, want %q", got, want)
+	}
+	if _, err := w.Write([]byte("ee\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := out.String(), "[s] one\n[s] two\n[s] three\n"; got != want {
+		t.Fatalf("after completing the line: got %q, want %q", got, want)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := out.String(), "[s] one\n[s] two\n[s] three\n"; got != want {
+		t.Fatalf("Close with empty buffer must write nothing: got %q, want %q", got, want)
+	}
+}

@@ -43,6 +43,12 @@ type Crossbar struct {
 	wMin, wMax float64
 	rLo, rHi   float64
 	mapped     bool
+
+	// Cached read path (see cache.go): the materialized effective
+	// weight matrix, its transpose (row j = array column j, streamed by
+	// VMM), and whether they are current.
+	eff, effT *tensor.Tensor
+	effValid  bool
 }
 
 // New constructs a fresh crossbar.
@@ -82,23 +88,36 @@ func (c *Crossbar) TempK() float64 { return c.tempK }
 
 // SetTempK changes the operating temperature (K). It returns an error
 // for non-positive temperatures and leaves the crossbar unchanged.
+// Conservatively invalidates the read cache (temperature moves the
+// aged windows future operations clamp against).
 func (c *Crossbar) SetTempK(t float64) error {
 	if t <= 0 {
 		return fmt.Errorf("crossbar: temperature must be positive, got %g", t)
 	}
 	c.tempK = t
+	c.invalidate()
 	return nil
 }
 
-// Device returns the device at row i, column j.
+// at returns the device at row i, column j without touching the read
+// cache — the accessor every internal (invalidation-aware) path uses.
+func (c *Crossbar) at(i, j int) *device.Device {
+	return c.devices[i*c.Cols+j]
+}
+
+// Device returns the device at row i, column j. The returned handle
+// can mutate device state behind the crossbar's back, so this escape
+// hatch conservatively invalidates the cached read path; simulation
+// code on the hot path uses the crossbar's own methods instead.
 func (c *Crossbar) Device(i, j int) *device.Device {
+	c.invalidate()
 	return c.devices[i*c.Cols+j]
 }
 
 // AgedBounds returns the true aged resistance window of device (i, j)
 // per eq. (6)/(7), from its actual accumulated stress.
 func (c *Crossbar) AgedBounds(i, j int) (lo, hi float64) {
-	return c.model.Bounds(c.params, c.Device(i, j).Stress(), c.tempK)
+	return c.model.Bounds(c.params, c.at(i, j).Stress(), c.tempK)
 }
 
 // MapRange returns the common resistance range [rLo, rHi] used by the
@@ -115,12 +134,22 @@ func (c *Crossbar) WeightRange() (wMin, wMax float64, ok bool) {
 // TargetResistance converts weight w to its target resistance under
 // eq. (4) with the mapping ranges [wMin,wMax] -> [gMin,gMax], where
 // gMin = 1/rHi and gMax = 1/rLo. Degenerate weight ranges map to gMin.
+// Weights outside [wMin, wMax] (possible through fault-compensation
+// offsets) clamp to the range edge: the periphery cannot program a
+// conductance outside the selected range, and without the clamp a far
+// outlier would extrapolate to a non-physical negative conductance.
+// The result is therefore always in [rLo, rHi].
 func TargetResistance(w, wMin, wMax, rLo, rHi float64) float64 {
 	gMin, gMax := 1/rHi, 1/rLo
 	if wMax <= wMin {
 		return rHi
 	}
 	g := (gMax-gMin)/(wMax-wMin)*(w-wMin) + gMin
+	if g < gMin {
+		g = gMin
+	} else if g > gMax {
+		g = gMax
+	}
 	return 1 / g
 }
 
@@ -159,13 +188,14 @@ func (c *Crossbar) MapWeights(w *tensor.Tensor, rLo, rHi float64) MapStats {
 	c.wMin, c.wMax = wMin, wMax
 	c.rLo, c.rHi = rLo, rHi
 	c.mapped = true
+	c.invalidate() // ranges and (potentially) every device changed
 
 	var stats MapStats
 	for i := 0; i < c.Rows; i++ {
 		for j := 0; j < c.Cols; j++ {
 			target := TargetResistance(w.At(i, j), wMin, wMax, rLo, rHi)
 			lo, hi := c.AgedBounds(i, j)
-			res := c.Device(i, j).Program(target, lo, hi)
+			res := c.at(i, j).Program(target, lo, hi)
 			stats.Pulses += res.Pulses
 			stats.Stress += res.Stress
 			if res.Clipped {
@@ -185,36 +215,64 @@ func (c *Crossbar) MapWeights(w *tensor.Tensor, rLo, rHi float64) MapStats {
 // returned matrix is the fault-aware truth of what the hardware
 // computes. When a fault injector is attached, an occasional read-noise
 // burst perturbs the whole readback multiplicatively without touching
-// device state. Panics if the array has never been mapped.
-func (c *Crossbar) EffectiveWeights() *tensor.Tensor {
-	if !c.mapped {
-		panic("crossbar: EffectiveWeights before MapWeights")
-	}
-	burst, sigma := false, 0.0
-	if c.inj != nil {
-		burst, sigma = c.inj.ReadBurst()
-	}
+// device state (or the read cache). Returns ErrNotMapped before the
+// first MapWeights. The returned tensor is the caller's to mutate; the
+// allocation-free variant is ReadWeightsInto.
+func (c *Crossbar) EffectiveWeights() (*tensor.Tensor, error) {
 	out := tensor.New(c.Rows, c.Cols)
-	for i := 0; i < c.Rows; i++ {
-		for j := 0; j < c.Cols; j++ {
-			r := c.Device(i, j).Resistance()
-			if burst {
-				r *= c.inj.ReadNoise(sigma)
-			}
-			out.Set(EffectiveWeight(r, c.wMin, c.wMax, c.rLo, c.rHi), i, j)
-		}
+	if err := c.readInto(out); err != nil {
+		return nil, err
 	}
-	return out
+	return out, nil
 }
 
 // VMM computes the analog vector-matrix product the array performs for
 // one input vector x of length Rows: out_j = sum_i x_i * w_ij with the
-// *effective* (programmed, quantized, aged) weights.
-func (c *Crossbar) VMM(x *tensor.Tensor) *tensor.Tensor {
+// *effective* (programmed, quantized, aged) weights, served from the
+// cached matrix (bit-identical to VMMNaive). It returns an error on an
+// input size mismatch or before the first MapWeights.
+func (c *Crossbar) VMM(x *tensor.Tensor) (*tensor.Tensor, error) {
 	if x.Size() != c.Rows {
-		panic(fmt.Sprintf("crossbar: VMM input size %d, want %d", x.Size(), c.Rows))
+		return nil, fmt.Errorf("crossbar: VMM input size %d, want %d", x.Size(), c.Rows)
 	}
-	return tensor.MatVec(c.EffectiveWeights().Transpose(), x)
+	if !c.mapped {
+		return nil, ErrNotMapped
+	}
+	if burst, sigma := c.readBurst(); burst {
+		// A burst-affected read bypasses the cache entirely; bursts are
+		// rare, so the hot path below stays allocation-lean.
+		noisy := tensor.New(c.Rows, c.Cols)
+		c.noisyInto(noisy, sigma)
+		return tensor.MatVec(noisy.Transpose(), x), nil
+	}
+	c.ensure()
+	return tensor.MatVec(c.effT, x), nil
+}
+
+// VMMBatch evaluates the array against a whole input batch x (shape
+// [B, Rows]) in one matrix-matrix product over a single materialized
+// readback: out[b][j] = sum_i x[b][i] * w_ij. The batch counts as ONE
+// readback — at most one read-noise burst is drawn for all B samples,
+// matching a pipelined analog read that latches the array state once.
+// workers > 1 opts into the deterministic row-parallel kernel (output
+// bits are identical for every worker count).
+func (c *Crossbar) VMMBatch(x *tensor.Tensor, workers int) (*tensor.Tensor, error) {
+	if x.Rank() != 2 || x.Dim(1) != c.Rows {
+		return nil, fmt.Errorf("crossbar: VMMBatch input shape %v, want [B %d]", x.Shape(), c.Rows)
+	}
+	if !c.mapped {
+		return nil, ErrNotMapped
+	}
+	out := tensor.New(x.Dim(0), c.Cols)
+	if burst, sigma := c.readBurst(); burst {
+		noisy := tensor.New(c.Rows, c.Cols)
+		c.noisyInto(noisy, sigma)
+		tensor.MatMulWorkersInto(out, x, noisy, workers)
+		return out, nil
+	}
+	c.ensure()
+	tensor.MatMulWorkersInto(out, x, c.eff, workers)
+	return out, nil
 }
 
 // StepDevice applies one online-tuning pulse to device (i, j): dir > 0
@@ -232,7 +290,7 @@ func (c *Crossbar) StepDevice(i, j, dir int) (stress float64, applied bool) {
 	if dir == 0 {
 		return 0, false
 	}
-	d := c.Device(i, j)
+	d := c.at(i, j)
 	if d.Stuck() {
 		return d.FailedPulse(), false
 	}
@@ -246,7 +304,12 @@ func (c *Crossbar) StepDevice(i, j, dir int) (stress float64, applied bool) {
 	if hi < lo {
 		hi = lo
 	}
-	return d.Pulse(dir, lo, hi), true
+	stress = d.Pulse(dir, lo, hi)
+	// A pulse that took moved exactly this cell: patch the cached read
+	// path instead of invalidating it (failed pulses leave the
+	// resistance — and therefore the cache — untouched).
+	c.patch(i, j)
+	return stress, true
 }
 
 // RandomizeAging assigns every device a lognormal endurance-variability
@@ -259,6 +322,7 @@ func (c *Crossbar) RandomizeAging(sigma float64, rng *tensor.RNG) {
 	for _, d := range c.devices {
 		d.SetAgingFactor(math.Exp(rng.Normal(0, sigma)))
 	}
+	c.invalidate()
 }
 
 // AddStress injects burn-in stress into every device (scaled by each
@@ -268,6 +332,7 @@ func (c *Crossbar) AddStress(s float64) {
 	for _, d := range c.devices {
 		d.AddStress(s)
 	}
+	c.invalidate()
 }
 
 // Drift perturbs every device's resistance by Gaussian noise whose
@@ -283,11 +348,12 @@ func (c *Crossbar) Drift(sigma float64, rng *tensor.RNG) {
 	}
 	for i := 0; i < c.Rows; i++ {
 		for j := 0; j < c.Cols; j++ {
-			d := c.Device(i, j)
+			d := c.at(i, j)
 			lo, hi := c.AgedBounds(i, j)
 			d.Drift(rng.Normal(0, sigma*d.Resistance()), lo, hi)
 		}
 	}
+	c.invalidate() // every healthy device may have moved
 }
 
 // TotalStress sums the accumulated stress over all devices.

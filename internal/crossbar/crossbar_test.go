@@ -1,6 +1,7 @@
 package crossbar
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -104,7 +105,7 @@ func TestEffectiveWeightsWithinQuantizationError(t *testing.T) {
 	w := tensor.New(6, 5)
 	rng.FillNormal(w, 0, 0.5)
 	cb.MapWeights(w, p.RminFresh, p.RmaxFresh)
-	eff := cb.EffectiveWeights()
+	eff := mustEff(t, cb)
 
 	wMin, wMax := w.MinMax()
 	// Worst-case quantization error in weight units: one conductance
@@ -125,8 +126,8 @@ func TestVMMMatchesEffectiveWeights(t *testing.T) {
 	w := tensor.FromSlice([]float64{0.1, -0.2, 0.3, 0.05, -0.4, 0.2}, 3, 2)
 	cb.MapWeights(w, p.RminFresh, p.RmaxFresh)
 	x := tensor.FromSlice([]float64{1, 2, 3}, 3)
-	out := cb.VMM(x)
-	eff := cb.EffectiveWeights()
+	out := mustVMM(t, cb, x)
+	eff := mustEff(t, cb)
 	for j := 0; j < 2; j++ {
 		want := 0.0
 		for i := 0; i < 3; i++ {
@@ -292,12 +293,34 @@ func TestUsableLevelStatsFresh(t *testing.T) {
 	}
 }
 
-func TestEffectiveWeightsBeforeMapPanics(t *testing.T) {
+func TestReadBeforeMapReturnsErrNotMapped(t *testing.T) {
 	cb := newTestCrossbar(t, 2, 2)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic before mapping")
-		}
-	}()
-	cb.EffectiveWeights()
+	if _, err := cb.EffectiveWeights(); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("EffectiveWeights before mapping: err = %v, want ErrNotMapped", err)
+	}
+	if _, err := cb.VMM(tensor.New(2)); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("VMM before mapping: err = %v, want ErrNotMapped", err)
+	}
+	if _, err := cb.VMMBatch(tensor.New(3, 2), 0); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("VMMBatch before mapping: err = %v, want ErrNotMapped", err)
+	}
+	if err := cb.ReadWeightsInto(tensor.New(2, 2)); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("ReadWeightsInto before mapping: err = %v, want ErrNotMapped", err)
+	}
+	if _, err := cb.EffectiveWeightsNaive(); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("EffectiveWeightsNaive before mapping: err = %v, want ErrNotMapped", err)
+	}
+}
+
+func TestVMMSizeMismatchReturnsError(t *testing.T) {
+	cb := newTestCrossbar(t, 3, 2)
+	p := cb.Params()
+	w := tensor.New(3, 2)
+	cb.MapWeights(w, p.RminFresh, p.RmaxFresh)
+	if _, err := cb.VMM(tensor.New(4)); err == nil {
+		t.Fatal("VMM with wrong input size must return an error")
+	}
+	if _, err := cb.VMMBatch(tensor.New(5, 4), 0); err == nil {
+		t.Fatal("VMMBatch with wrong input width must return an error")
+	}
 }

@@ -91,29 +91,35 @@ func (d *DifferentialCrossbar) MapWeights(w *tensor.Tensor) MapStats {
 	return stats
 }
 
-// EffectiveWeights reads back the weights the pair implements.
-func (d *DifferentialCrossbar) EffectiveWeights() *tensor.Tensor {
+// EffectiveWeights reads back the weights the pair implements. It
+// returns ErrNotMapped before the first MapWeights.
+func (d *DifferentialCrossbar) EffectiveWeights() (*tensor.Tensor, error) {
 	if !d.mapped {
-		panic("crossbar: differential EffectiveWeights before MapWeights")
+		return nil, ErrNotMapped
 	}
 	out := tensor.New(d.Pos.Rows, d.Pos.Cols)
 	for i := 0; i < d.Pos.Rows; i++ {
 		for j := 0; j < d.Pos.Cols; j++ {
-			gp := d.Pos.Device(i, j).Conductance()
-			gn := d.Neg.Device(i, j).Conductance()
+			gp := d.Pos.at(i, j).Conductance()
+			gn := d.Neg.at(i, j).Conductance()
 			out.Set((gp-gn)*d.scale, i, j)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // VMM computes the differential analog product: the Pos column currents
-// minus the Neg column currents, scaled back to weight units.
-func (d *DifferentialCrossbar) VMM(x *tensor.Tensor) *tensor.Tensor {
+// minus the Neg column currents, scaled back to weight units. It
+// returns an error on an input size mismatch or before MapWeights.
+func (d *DifferentialCrossbar) VMM(x *tensor.Tensor) (*tensor.Tensor, error) {
 	if x.Size() != d.Pos.Rows {
-		panic(fmt.Sprintf("crossbar: differential VMM input size %d, want %d", x.Size(), d.Pos.Rows))
+		return nil, fmt.Errorf("crossbar: differential VMM input size %d, want %d", x.Size(), d.Pos.Rows)
 	}
-	return tensor.MatVec(d.EffectiveWeights().Transpose(), x)
+	eff, err := d.EffectiveWeights()
+	if err != nil {
+		return nil, err
+	}
+	return tensor.MatVec(eff.Transpose(), x), nil
 }
 
 // TotalStress sums the accumulated stress over both halves.
@@ -136,7 +142,7 @@ func (d *DifferentialCrossbar) MeanRelConductance() float64 {
 	for _, cb := range []*Crossbar{d.Pos, d.Neg} {
 		for i := 0; i < cb.Rows; i++ {
 			for j := 0; j < cb.Cols; j++ {
-				total += (cb.Device(i, j).Conductance() - gMin) / (gMax - gMin)
+				total += (cb.at(i, j).Conductance() - gMin) / (gMax - gMin)
 				n++
 			}
 		}

@@ -21,6 +21,7 @@ func (c *Crossbar) SetFaultInjector(inj *fault.Injector) error {
 		return fmt.Errorf("crossbar: injector built for %d devices, array has %d", inj.N(), c.Rows*c.Cols)
 	}
 	c.inj = inj
+	c.invalidate() // initial stuck faults pin device resistances
 	if inj == nil {
 		return nil
 	}
@@ -37,7 +38,7 @@ func (c *Crossbar) SetFaultInjector(inj *fault.Injector) error {
 func (c *Crossbar) FaultInjector() *fault.Injector { return c.inj }
 
 // IsStuck reports whether device (i, j) is permanently stuck.
-func (c *Crossbar) IsStuck(i, j int) bool { return c.Device(i, j).Stuck() }
+func (c *Crossbar) IsStuck(i, j int) bool { return c.at(i, j).Stuck() }
 
 // FaultMap returns a row-major snapshot of every device's fault state —
 // the map a fault-aware controller maintains from write-verify
@@ -79,6 +80,9 @@ func (c *Crossbar) AdvanceFaults() int {
 		}
 		if k := c.inj.WearOutFault(idx, d.Stress()); k != device.FaultNone {
 			d.SetFault(k)
+			// Sticking pins the resistance: patch exactly this cell of
+			// the cached read path.
+			c.patch(idx/c.Cols, idx%c.Cols)
 			newly++
 		}
 	}
@@ -133,6 +137,7 @@ func (c *Crossbar) MapWeightsFaultAware(w *tensor.Tensor, rLo, rHi float64) MapS
 	c.wMin, c.wMax = wMin, wMax
 	c.rLo, c.rHi = rLo, rHi
 	c.mapped = true
+	c.invalidate() // ranges and (potentially) every healthy device changed
 
 	// Per-column compensation offsets for the healthy devices.
 	comp := make([]float64, c.Cols)
@@ -140,7 +145,7 @@ func (c *Crossbar) MapWeightsFaultAware(w *tensor.Tensor, rLo, rHi float64) MapS
 		errSum := 0.0
 		healthy := 0
 		for i := 0; i < c.Rows; i++ {
-			d := c.Device(i, j)
+			d := c.at(i, j)
 			if d.Stuck() {
 				errSum += EffectiveWeight(d.Resistance(), wMin, wMax, rLo, rHi) - w.At(i, j)
 			} else {
@@ -155,13 +160,13 @@ func (c *Crossbar) MapWeightsFaultAware(w *tensor.Tensor, rLo, rHi float64) MapS
 	var stats MapStats
 	for i := 0; i < c.Rows; i++ {
 		for j := 0; j < c.Cols; j++ {
-			if c.Device(i, j).Stuck() {
+			if c.at(i, j).Stuck() {
 				stats.Skipped++
 				continue
 			}
 			target := TargetResistance(w.At(i, j)+comp[j], wMin, wMax, rLo, rHi)
 			lo, hi := c.AgedBounds(i, j)
-			res := c.Device(i, j).Program(target, lo, hi)
+			res := c.at(i, j).Program(target, lo, hi)
 			stats.Pulses += res.Pulses
 			stats.Stress += res.Stress
 			if res.Clipped {
@@ -235,7 +240,10 @@ func FaultCampaign(w *tensor.Tensor, p device.Params, m aging.Model, tempK float
 			} else {
 				stats = cb.MapWeights(w, p.RminFresh, p.RmaxFresh)
 			}
-			eff := cb.EffectiveWeights()
+			eff, err := cb.EffectiveWeights()
+			if err != nil {
+				return 0, 0, CampaignPoint{}, err
+			}
 			sum := 0.0
 			colErr := make([]float64, cols)
 			for i, v := range eff.Data() {

@@ -1,0 +1,51 @@
+package crossbar
+
+import (
+	"testing"
+
+	"memlife/internal/tensor"
+)
+
+// effReader is satisfied by both Crossbar and DifferentialCrossbar.
+type effReader interface {
+	EffectiveWeights() (*tensor.Tensor, error)
+	VMM(x *tensor.Tensor) (*tensor.Tensor, error)
+}
+
+// mustEff reads the effective weights, failing the test on error.
+func mustEff(t testing.TB, cb effReader) *tensor.Tensor {
+	t.Helper()
+	eff, err := cb.EffectiveWeights()
+	if err != nil {
+		t.Fatalf("EffectiveWeights: %v", err)
+	}
+	return eff
+}
+
+// mustVMM computes the vector-matrix product, failing the test on error.
+func mustVMM(t testing.TB, cb effReader, x *tensor.Tensor) *tensor.Tensor {
+	t.Helper()
+	out, err := cb.VMM(x)
+	if err != nil {
+		t.Fatalf("VMM: %v", err)
+	}
+	return out
+}
+
+// mustAcc evaluates the mapped network, failing the test on error.
+func mustAcc(t testing.TB, mn *MappedNetwork, x *tensor.Tensor, y []int) float64 {
+	t.Helper()
+	acc, err := mn.Accuracy(x, y)
+	if err != nil {
+		t.Fatalf("Accuracy: %v", err)
+	}
+	return acc
+}
+
+// mustRefresh refreshes the mapped network, failing the test on error.
+func mustRefresh(t testing.TB, mn *MappedNetwork) {
+	t.Helper()
+	if err := mn.Refresh(); err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+}

@@ -156,16 +156,24 @@ func (m *MappedNetwork) MapAllFresh() MapStatsTotal {
 
 // Refresh loads every crossbar's effective weights into the host
 // network, so subsequent Forward calls simulate hardware inference.
-func (m *MappedNetwork) Refresh() {
+// With warm read caches this is one memcpy per layer. It returns an
+// error (crossbar.ErrNotMapped wrapped per layer) if any crossbar has
+// not been programmed yet.
+func (m *MappedNetwork) Refresh() error {
 	for _, l := range m.Layers {
-		l.Param.W.CopyFrom(l.Crossbar.EffectiveWeights())
+		if err := l.Crossbar.ReadWeightsInto(l.Param.W); err != nil {
+			return fmt.Errorf("crossbar: refresh layer %s: %w", l.Name, err)
+		}
 	}
+	return nil
 }
 
 // Accuracy refreshes the effective weights and classifies the batch.
-func (m *MappedNetwork) Accuracy(x *tensor.Tensor, y []int) float64 {
-	m.Refresh()
-	return m.Net.Accuracy(x, y)
+func (m *MappedNetwork) Accuracy(x *tensor.Tensor, y []int) (float64, error) {
+	if err := m.Refresh(); err != nil {
+		return 0, err
+	}
+	return m.Net.Accuracy(x, y), nil
 }
 
 // RandomizeAging assigns lognormal endurance-variability factors to

@@ -69,7 +69,7 @@ func TestHardwareAccuracyCloseToSoftware(t *testing.T) {
 	mn := newMapped(t, net)
 	mn.MapAllFresh()
 	batches := testDS.Batches(testDS.Len(), nil)
-	hwAcc := mn.Accuracy(batches[0].X, batches[0].Y)
+	hwAcc := mustAcc(t, mn, batches[0].X, batches[0].Y)
 
 	if hwAcc < softAcc-0.15 {
 		t.Fatalf("fresh-hardware accuracy %.3f dropped too far below software %.3f", hwAcc, softAcc)
@@ -80,11 +80,12 @@ func TestRefreshLoadsEffectiveWeights(t *testing.T) {
 	net, _, _ := trainedSmallNet(t)
 	mn := newMapped(t, net)
 	mn.MapAllFresh()
-	mn.Refresh()
+	mustRefresh(t, mn)
 	for _, l := range mn.Layers {
 		diff := 0.0
+		eff := mustEff(t, l.Crossbar)
 		for i, v := range l.Param.W.Data() {
-			diff += math.Abs(v - l.Crossbar.EffectiveWeights().Data()[i])
+			diff += math.Abs(v - eff.Data()[i])
 		}
 		if diff != 0 {
 			t.Fatalf("layer %s params differ from effective weights after Refresh", l.Name)
@@ -97,7 +98,7 @@ func TestRestoreSoftwareWeights(t *testing.T) {
 	mn := newMapped(t, net)
 	orig := mn.Layers[0].Target.Clone()
 	mn.MapAllFresh()
-	mn.Refresh()
+	mustRefresh(t, mn)
 	mn.RestoreSoftwareWeights()
 	for i, v := range mn.Layers[0].Param.W.Data() {
 		if v != orig.Data()[i] {
@@ -162,9 +163,9 @@ func TestMappedNetworkDrift(t *testing.T) {
 	net, _, _ := trainedSmallNet(t)
 	mn := newMapped(t, net)
 	mn.MapAllFresh()
-	before := mn.Layers[0].Crossbar.EffectiveWeights().Clone()
+	before := mustEff(t, mn.Layers[0].Crossbar).Clone()
 	mn.Drift(0.08, tensor.NewRNG(9))
-	after := mn.Layers[0].Crossbar.EffectiveWeights()
+	after := mustEff(t, mn.Layers[0].Crossbar)
 	same := true
 	for i, v := range before.Data() {
 		if after.Data()[i] != v {

@@ -35,12 +35,12 @@ func TestVMMLinearity(t *testing.T) {
 		mix := tensor.New(6)
 		mix.Axpy(a, x)
 		mix.Axpy(b, y)
-		got := cb.VMM(mix)
+		got := mustVMM(t, cb, mix)
 
 		// ...must equal a*VMM(x) + b*VMM(y).
 		want := tensor.New(4)
-		want.Axpy(a, cb.VMM(x))
-		want.Axpy(b, cb.VMM(y))
+		want.Axpy(a, mustVMM(t, cb, x))
+		want.Axpy(b, mustVMM(t, cb, y))
 		for i := range got.Data() {
 			if math.Abs(got.Data()[i]-want.Data()[i]) > 1e-9 {
 				return false
@@ -132,7 +132,7 @@ func TestMapOnDeadArray(t *testing.T) {
 	if stats.Clipped == 0 {
 		t.Fatal("mapping a dead array must clip")
 	}
-	eff := cb.EffectiveWeights()
+	eff := mustEff(t, cb)
 	for _, v := range eff.Data() {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			t.Fatal("effective weights must stay finite on a dead array")

@@ -244,6 +244,7 @@ func lifetimeConfig(opt Options, target float64) lifetime.Config {
 	cfg := lifetime.DefaultConfig()
 	cfg.TargetAcc = target
 	cfg.Seed = opt.Seed
+	cfg.Workers = opt.Workers
 	cfg.AppsPerCycle = 1_000_000
 	cfg.MaxCycles = 150
 	if opt.Fast {

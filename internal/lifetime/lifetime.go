@@ -135,6 +135,12 @@ type Config struct {
 	// failures (see tuning.Config.RetryBudget). Zero means the tuning
 	// default; negative disables retries.
 	RetryBudget int
+	// Workers is the forward-pass parallelism for accuracy evaluation
+	// during tuning (see tuning.Config.Workers). Evaluation is
+	// bit-identical for every value — campaign shards stay
+	// deterministic — so this is a pure speed knob; <= 1 keeps
+	// evaluation serial.
+	Workers int
 	// DegradedAccFrac enables graceful degradation: when even a
 	// rescue remap cannot reach TargetAcc but the accuracy still
 	// reaches DegradedAccFrac*TargetAcc, the array keeps serving at
@@ -315,6 +321,7 @@ func RunCtx(ctx context.Context, net *nn.Network, trainDS *dataset.Dataset, sc S
 			StepFrac:    cfg.StepFrac,
 			RetryBudget: cfg.RetryBudget,
 			Seed:        cfg.Seed + int64(cycle),
+			Workers:     cfg.Workers,
 		})
 	}
 
@@ -421,7 +428,10 @@ func SuggestTarget(net *nn.Network, trainDS *dataset.Dataset, p device.Params, m
 	}
 	evalDS := trainDS.Subset(evalN)
 	b := evalDS.Batches(evalDS.Len(), nil)[0]
-	acc := mn.Accuracy(b.X, b.Y)
+	acc, err := mn.Accuracy(b.X, b.Y)
+	if err != nil {
+		return 0, err
+	}
 	target := acc - margin
 	if target <= 0 {
 		return 0, fmt.Errorf("lifetime: suggested target %g is not positive (fresh accuracy %g, margin %g)", target, acc, margin)

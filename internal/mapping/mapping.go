@@ -143,7 +143,9 @@ func Map(mn *crossbar.MappedNetwork, cfg Config, evalX *tensor.Tensor, evalY []i
 		res.Stats.Stuck += s.Stuck
 		res.Stats.Skipped += s.Skipped
 	}
-	mn.Refresh()
+	if err := mn.Refresh(); err != nil {
+		return res, fmt.Errorf("mapping: %w", err)
+	}
 	return res, nil
 }
 

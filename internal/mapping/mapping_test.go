@@ -162,7 +162,11 @@ func TestAgingAwareBeatsFreshOnAgedArray(t *testing.T) {
 		if _, err := Map(mn, Config{Policy: policy}, x, y); err != nil {
 			t.Fatal(err)
 		}
-		return mn.Accuracy(x, y)
+		acc, err := mn.Accuracy(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return acc
 	}
 	freshAcc := run(Fresh)
 	awareAcc := run(AgingAware)
@@ -241,7 +245,10 @@ func TestMapRefreshesHostNetwork(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, l := range mn.Layers {
-		eff := l.Crossbar.EffectiveWeights()
+		eff, err := l.Crossbar.EffectiveWeights()
+		if err != nil {
+			t.Fatal(err)
+		}
 		for i, v := range l.Param.W.Data() {
 			if v != eff.Data()[i] {
 				t.Fatalf("layer %s: host network not refreshed after Map", l.Name)

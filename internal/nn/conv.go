@@ -20,6 +20,8 @@ type Conv2D struct {
 
 	// Per-sample im2col patch matrices cached for the backward pass.
 	cols []*tensor.Tensor
+
+	workers int // forward-pass parallelism (see Network.SetForwardWorkers)
 }
 
 // NewConv2D constructs a convolution layer with He-initialized kernels.
@@ -74,23 +76,28 @@ func (l *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	l.cols = l.cols[:b]
 
-	pos := tensor.New(positions, l.OutC) // position-major conv result, reused per sample
-	for s := 0; s < b; s++ {
-		if l.cols[s] == nil {
-			l.cols[s] = tensor.New(positions, patch)
-		}
-		tensor.Im2Col(l.cols[s], x.RowSlice(s), l.Geom)
-		tensor.MatMulInto(pos, l.cols[s], l.Weight.W)
-		// Transpose position-major [positions, OutC] into the
-		// channel-major output row, adding the per-channel bias.
-		row := out.RowSlice(s).Data()
-		pd := pos.Data()
-		for p := 0; p < positions; p++ {
-			for c := 0; c < l.OutC; c++ {
-				row[c*positions+p] = pd[p*l.OutC+c] + l.Bias.W.Data()[c]
+	// Samples are independent, so chunking them over workers leaves the
+	// output bit-identical for every worker count. Each chunk owns a
+	// private position-major scratch buffer.
+	tensor.ParallelRows(b, l.workers, func(s0, s1 int) {
+		pos := tensor.New(positions, l.OutC)
+		for s := s0; s < s1; s++ {
+			if l.cols[s] == nil {
+				l.cols[s] = tensor.New(positions, patch)
+			}
+			tensor.Im2Col(l.cols[s], x.RowSlice(s), l.Geom)
+			tensor.MatMulInto(pos, l.cols[s], l.Weight.W)
+			// Transpose position-major [positions, OutC] into the
+			// channel-major output row, adding the per-channel bias.
+			row := out.RowSlice(s).Data()
+			pd := pos.Data()
+			for p := 0; p < positions; p++ {
+				for c := 0; c < l.OutC; c++ {
+					row[c*positions+p] = pd[p*l.OutC+c] + l.Bias.W.Data()[c]
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 

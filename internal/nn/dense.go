@@ -16,7 +16,8 @@ type Dense struct {
 	Weight  *Param
 	Bias    *Param
 
-	x *tensor.Tensor // cached forward input
+	x       *tensor.Tensor // cached forward input
+	workers int            // forward-pass parallelism (see Network.SetForwardWorkers)
 }
 
 // NewDense constructs a dense layer with He-initialized weights.
@@ -53,7 +54,8 @@ func (l *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: dense %q forward input width %d, want %d", l.name, x.Dim(1), l.In))
 	}
 	l.x = x
-	out := tensor.MatMul(x, l.Weight.W)
+	out := tensor.New(x.Dim(0), l.Out)
+	tensor.MatMulWorkersInto(out, x, l.Weight.W, l.workers)
 	out.AddRowVector(l.Bias.W)
 	return out
 }

@@ -65,6 +65,42 @@ func (n *Network) ZeroGrads() {
 	}
 }
 
+// SetForwardWorkers sets the per-layer forward-pass parallelism: each
+// dense matmul and conv sample loop is split over up to n goroutines
+// (bounded globally by GOMAXPROCS via tensor's kernel token pool).
+// Results are bit-identical for every n, so evaluation can opt in
+// without perturbing deterministic campaigns. n <= 1 restores serial
+// execution.
+func (n *Network) SetForwardWorkers(workers int) {
+	for _, l := range n.Layers {
+		switch t := l.(type) {
+		case *Dense:
+			t.workers = workers
+		case *Conv2D:
+			t.workers = workers
+		}
+	}
+}
+
+// ForwardWorkers reports the configured forward-pass parallelism (the
+// maximum over layers; 0 when every layer is serial).
+func (n *Network) ForwardWorkers() int {
+	w := 0
+	for _, l := range n.Layers {
+		switch t := l.(type) {
+		case *Dense:
+			if t.workers > w {
+				w = t.workers
+			}
+		case *Conv2D:
+			if t.workers > w {
+				w = t.workers
+			}
+		}
+	}
+	return w
+}
+
 // Forward runs the batch x through all layers and returns logits.
 func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	out := x

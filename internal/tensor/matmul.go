@@ -23,15 +23,25 @@ func MatMul(a, b *Tensor) *Tensor {
 // MatMulInto computes dst = a @ b, reusing dst's storage. dst must have
 // shape [a.rows, b.cols] and must not alias a or b.
 func MatMulInto(dst, a, b *Tensor) {
-	m, k := a.shape[0], a.shape[1]
-	n := b.shape[1]
+	m, n := a.shape[0], b.shape[1]
 	if dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d %d]", dst.shape, m, n))
 	}
-	dst.Zero()
-	for i := 0; i < m; i++ {
+	matMulRows(dst, a, b, 0, m)
+}
+
+// matMulRows computes rows [r0, r1) of dst = a @ b. Each output row is
+// written exactly once and touched by exactly one caller, so disjoint
+// row ranges may run concurrently and the result is bit-identical to a
+// serial pass whatever the partitioning.
+func matMulRows(dst, a, b *Tensor, r0, r1 int) {
+	k, n := a.shape[1], b.shape[1]
+	for i := r0; i < r1; i++ {
 		arow := a.data[i*k : (i+1)*k]
 		drow := dst.data[i*n : (i+1)*n]
+		for j := range drow {
+			drow[j] = 0
+		}
 		for p := 0; p < k; p++ {
 			av := arow[p]
 			if av == 0 {

@@ -52,6 +52,11 @@ type Config struct {
 	RetryBudget int
 	// Seed drives batch shuffling.
 	Seed int64
+	// Workers is the forward-pass parallelism used for accuracy
+	// evaluation (see nn.Network.SetForwardWorkers). Evaluation results
+	// are bit-identical for every value, so this is a pure speed knob;
+	// <= 1 keeps evaluation serial.
+	Workers int
 }
 
 // Validate reports an error for degenerate configs.
@@ -131,6 +136,12 @@ func Tune(mn *crossbar.MappedNetwork, ds *dataset.Dataset, evalX *tensor.Tensor,
 	pulsesBefore := mn.TotalPulses()
 	stressBefore := mn.TotalStress()
 
+	if cfg.Workers > 1 {
+		prev := mn.Net.ForwardWorkers()
+		mn.Net.SetForwardWorkers(cfg.Workers)
+		defer mn.Net.SetForwardWorkers(prev)
+	}
+
 	batches := ds.Batches(cfg.BatchSize, rng)
 	next := 0
 
@@ -138,7 +149,10 @@ func Tune(mn *crossbar.MappedNetwork, ds *dataset.Dataset, evalX *tensor.Tensor,
 	sinceImprovement := 0
 	iters := 0
 	for it := 0; it < cfg.MaxIters; it++ {
-		acc := mn.Accuracy(evalX, evalY)
+		acc, err := mn.Accuracy(evalX, evalY)
+		if err != nil {
+			return res, err
+		}
 		res.AccTrace = append(res.AccTrace, acc)
 		if acc >= cfg.TargetAcc {
 			res.Converged = true
@@ -160,12 +174,19 @@ func Tune(mn *crossbar.MappedNetwork, ds *dataset.Dataset, evalX *tensor.Tensor,
 		}
 		b := batches[next]
 		next = (next + 1) % len(batches)
-		retries, skipped := step(mn, b, cfg.stepFrac(), cfg.retryBudget())
+		retries, skipped, err := step(mn, b, cfg.stepFrac(), cfg.retryBudget())
+		if err != nil {
+			return res, err
+		}
 		res.Retries += retries
 		res.StuckSkipped += skipped
 		iters = it + 1
 	}
-	res.FinalAcc = mn.Accuracy(evalX, evalY)
+	finalAcc, err := mn.Accuracy(evalX, evalY)
+	if err != nil {
+		return res, err
+	}
+	res.FinalAcc = finalAcc
 	res.AccTrace = append(res.AccTrace, res.FinalAcc)
 	res.Converged = res.FinalAcc >= cfg.TargetAcc
 	res.Iterations = iters
@@ -181,8 +202,10 @@ func Tune(mn *crossbar.MappedNetwork, ds *dataset.Dataset, evalX *tensor.Tensor,
 // whose weights see larger gradients — convolutional kernels, whose
 // gradients sum over all spatial positions — receive more pulses and
 // age faster, reproducing the conv-vs-FC asymmetry of Fig. 11.
-func step(mn *crossbar.MappedNetwork, b dataset.Batch, frac float64, retryBudget int) (retries, skipped int64) {
-	mn.Refresh()
+func step(mn *crossbar.MappedNetwork, b dataset.Batch, frac float64, retryBudget int) (retries, skipped int64, err error) {
+	if err := mn.Refresh(); err != nil {
+		return 0, 0, err
+	}
 	mn.Net.ZeroGrads()
 	logits := mn.Net.Forward(b.X, true)
 	_, dlogits := nn.SoftmaxCrossEntropy(logits, b.Y)
@@ -202,14 +225,14 @@ func step(mn *crossbar.MappedNetwork, b dataset.Batch, frac float64, retryBudget
 	}
 	thr := kthLargestAbs(all, k)
 	if thr == 0 {
-		return 0, 0 // gradient vanished; nothing to tune
+		return 0, 0, nil // gradient vanished; nothing to tune
 	}
 	for _, l := range mn.Layers {
 		r, s := pulseLayer(l, thr, retryBudget)
 		retries += r
 		skipped += s
 	}
-	return retries, skipped
+	return retries, skipped, nil
 }
 
 // pulseLayer applies sign pulses to every device of the layer whose

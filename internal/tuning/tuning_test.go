@@ -60,7 +60,10 @@ func TestConfigValidation(t *testing.T) {
 
 func TestTuneConvergesImmediatelyWhenTargetMet(t *testing.T) {
 	mn, ds, x, y := fixture(t)
-	acc := mn.Accuracy(x, y)
+	acc, err := mn.Accuracy(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := Tune(mn, ds, x, y, Config{MaxIters: 150, TargetAcc: acc - 0.01, BatchSize: 16})
 	if err != nil {
 		t.Fatal(err)
@@ -78,10 +81,16 @@ func TestTuneConvergesImmediatelyWhenTargetMet(t *testing.T) {
 // pulses are accounted as stress.
 func TestTuneRecoversFromPerturbation(t *testing.T) {
 	mn, ds, x, y := fixture(t)
-	baseline := mn.Accuracy(x, y)
+	baseline, err := mn.Accuracy(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	mn.Drift(0.10, tensor.NewRNG(4))
-	perturbed := mn.Accuracy(x, y)
+	perturbed, err := mn.Accuracy(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if perturbed >= baseline {
 		t.Skipf("drift did not hurt accuracy (%.3f -> %.3f); nothing to recover", baseline, perturbed)
 	}
