@@ -34,6 +34,7 @@ import (
 	"memlife/internal/bench"
 	"memlife/internal/campaign"
 	"memlife/internal/experiments"
+	"memlife/internal/telemetry"
 )
 
 func main() {
@@ -44,19 +45,23 @@ func main() {
 
 // cliConfig is the parsed flag set of one invocation.
 type cliConfig struct {
-	list       bool
-	runIDs     string
-	all        bool
-	fast       bool
-	seed       int64
-	verb       bool
-	outDir     string
+	list        bool
+	runIDs      string
+	all         bool
+	fast        bool
+	seed        int64
+	verb        bool
+	outDir      string
 	seeds       int
 	workers     int
 	evalWorkers int
-	jsonOut    string
-	checkpoint string
-	resume     bool
+	jsonOut     string
+	checkpoint  string
+	resume      bool
+
+	metricsOut string
+	traceOut   string
+	debugAddr  string
 
 	bench         bool
 	benchOut      string
@@ -85,6 +90,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&c.jsonOut, "json", "", "campaign: write aggregated results as canonical JSON to this file")
 	fs.StringVar(&c.checkpoint, "checkpoint", "", "campaign: shard journal path (default <json>.ckpt.jsonl)")
 	fs.BoolVar(&c.resume, "resume", false, "campaign: skip shards already journaled in the checkpoint")
+	fs.StringVar(&c.metricsOut, "metrics-out", "", "write a telemetry snapshot (canonical JSON) to this file on exit")
+	fs.StringVar(&c.traceOut, "trace-out", "", "stream telemetry spans/events as JSONL to this file")
+	fs.StringVar(&c.debugAddr, "debug-addr", "", "serve /metrics/json, /healthz and net/http/pprof on this address (e.g. 127.0.0.1:6060)")
 	fs.BoolVar(&c.bench, "bench", false, "run the micro-benchmark harness instead of experiments")
 	fs.StringVar(&c.benchOut, "bench-out", "", "bench: write the canonical JSON report to this file (default stdout)")
 	fs.StringVar(&c.benchBaseline, "bench-baseline", "", "bench: compare against this committed baseline report and fail on regression")
@@ -105,6 +113,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// Telemetry spans the whole invocation whatever mode runs below; the
+	// session writes -metrics-out and closes -trace-out/-debug-addr on
+	// the way out (even when the mode fails).
+	tel, code := startTelemetry(c, stderr)
+	if code != 0 {
+		return code
+	}
+	code = dispatch(ctx, c, fs, stdout, stderr)
+	if tcode := tel.finish(stderr); code == 0 {
+		code = tcode
+	}
+	return code
+}
+
+// dispatch routes the parsed invocation to its mode.
+func dispatch(ctx context.Context, c cliConfig, fs *flag.FlagSet, stdout, stderr io.Writer) int {
 	campaignMode := c.seeds > 1 || c.jsonOut != "" || c.resume || c.checkpoint != ""
 	switch {
 	case c.bench:
@@ -161,17 +185,12 @@ func runBench(c cliConfig, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "memlife: %v\n", err)
 		return 1
 	}
-	var w io.Writer = stdout
 	if c.benchOut != "" {
-		f, err := os.Create(c.benchOut)
-		if err != nil {
-			fmt.Fprintf(stderr, "memlife: %v\n", err)
+		if err := writeFileAtomic(c.benchOut, rep.WriteJSON); err != nil {
+			fmt.Fprintf(stderr, "memlife: writing bench report: %v\n", err)
 			return 1
 		}
-		defer f.Close()
-		w = f
-	}
-	if err := rep.WriteJSON(w); err != nil {
+	} else if err := rep.WriteJSON(stdout); err != nil {
 		fmt.Fprintf(stderr, "memlife: writing bench report: %v\n", err)
 		return 1
 	}
@@ -252,7 +271,9 @@ func runSequential(ctx context.Context, c cliConfig, ids []string, stdout, stder
 		}
 		fmt.Fprintf(stdout, "=== %s: %s ===\n", e.ID, e.Title)
 		start := time.Now()
+		sp := telemetry.StartSpan("experiment/run")
 		err := e.Run(w, opt)
+		sp.End(telemetry.Attrs{"id": e.ID, "ok": err == nil})
 		if f != nil {
 			f.Close()
 		}
@@ -305,7 +326,9 @@ func runParallel(ctx context.Context, c cliConfig, ids []string, workers int, st
 				opt.Log = view
 			}
 			start := time.Now()
+			sp := telemetry.StartSpan("experiment/run")
 			j.err = j.e.Run(&j.buf, opt)
+			sp.End(telemetry.Attrs{"id": j.e.ID, "ok": j.err == nil})
 			j.elapsed = time.Since(start)
 			if view != nil {
 				view.Close()
@@ -380,16 +403,7 @@ func runCampaign(ctx context.Context, c cliConfig, stdout, stderr io.Writer) int
 		return 1
 	}
 	if c.jsonOut != "" {
-		f, err := os.Create(c.jsonOut)
-		if err != nil {
-			fmt.Fprintf(stderr, "memlife: %v\n", err)
-			return 1
-		}
-		err = res.WriteJSON(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
+		if err := writeFileAtomic(c.jsonOut, res.WriteJSON); err != nil {
 			fmt.Fprintf(stderr, "memlife: writing %s: %v\n", c.jsonOut, err)
 			return 1
 		}

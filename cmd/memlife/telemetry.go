@@ -1,0 +1,130 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"memlife/internal/telemetry"
+)
+
+// telemetrySession owns the process-wide telemetry wiring of one CLI
+// invocation: the global registry (-metrics-out / -debug-addr), the
+// JSONL tracer (-trace-out), and the debug HTTP listener. The zero
+// session (no telemetry flags) is inert.
+type telemetrySession struct {
+	reg        *telemetry.Registry
+	tracer     *telemetry.Tracer
+	traceFile  *os.File
+	debug      *telemetry.DebugServer
+	metricsOut string
+}
+
+// startTelemetry installs telemetry when any of -metrics-out,
+// -trace-out or -debug-addr is set. The trace file is streamed to
+// directly (not temp-then-rename): JSONL is a journal whose readers
+// tolerate a torn final line, and a killed run should keep the spans it
+// already emitted.
+func startTelemetry(c cliConfig, stderr io.Writer) (*telemetrySession, int) {
+	s := &telemetrySession{metricsOut: c.metricsOut}
+	if c.metricsOut == "" && c.traceOut == "" && c.debugAddr == "" {
+		return s, 0
+	}
+	s.reg = telemetry.NewRegistry()
+	telemetry.SetGlobal(s.reg)
+	if c.traceOut != "" {
+		f, err := os.Create(c.traceOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "memlife: %v\n", err)
+			s.finish(stderr)
+			return nil, 1
+		}
+		s.traceFile = f
+		s.tracer = telemetry.NewTracer(f)
+		telemetry.SetGlobalTracer(s.tracer)
+	}
+	if c.debugAddr != "" {
+		srv, err := telemetry.StartDebug(c.debugAddr, s.reg)
+		if err != nil {
+			fmt.Fprintf(stderr, "memlife: %v\n", err)
+			s.finish(stderr)
+			return nil, 1
+		}
+		s.debug = srv
+		fmt.Fprintf(stderr, "memlife: debug server on http://%s (/metrics/json, /healthz, /debug/pprof/)\n", srv.Addr())
+	}
+	return s, 0
+}
+
+// finish tears the session down: stops the debug server, writes the
+// -metrics-out snapshot (temp-then-rename, so a failure never leaves a
+// partial file), surfaces any trace-sink error, and uninstalls the
+// globals. Returns a non-zero exit code on write failures. Nil-safe.
+func (s *telemetrySession) finish(stderr io.Writer) int {
+	if s == nil {
+		return 0
+	}
+	code := 0
+	if s.debug != nil {
+		if err := s.debug.Close(); err != nil {
+			fmt.Fprintf(stderr, "memlife: closing debug server: %v\n", err)
+		}
+	}
+	if s.metricsOut != "" && s.reg != nil {
+		snap := s.reg.Snapshot()
+		if err := writeFileAtomic(s.metricsOut, snap.WriteJSON); err != nil {
+			fmt.Fprintf(stderr, "memlife: writing %s: %v\n", s.metricsOut, err)
+			code = 1
+		}
+	}
+	if s.tracer != nil {
+		telemetry.SetGlobalTracer(nil)
+		if err := s.tracer.Err(); err != nil {
+			fmt.Fprintf(stderr, "memlife: trace sink: %v\n", err)
+			code = 1
+		}
+	}
+	if s.traceFile != nil {
+		if err := s.traceFile.Close(); err != nil {
+			fmt.Fprintf(stderr, "memlife: closing trace file: %v\n", err)
+			code = 1
+		}
+	}
+	telemetry.SetGlobal(nil)
+	return code
+}
+
+// writeFileAtomic writes via a temp file in the destination directory
+// and renames it into place, so readers never observe a partial file —
+// a signal-cancelled run leaves either the old content or none, never a
+// truncated JSON document.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}

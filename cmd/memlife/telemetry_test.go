@@ -1,0 +1,156 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"memlife/internal/telemetry"
+)
+
+// TestCLIMetricsAndTraceOut is the acceptance path: a fig4 run with
+// -metrics-out and -trace-out must leave a valid canonical snapshot
+// holding timeline records and a JSONL trace holding at least one span.
+func TestCLIMetricsAndTraceOut(t *testing.T) {
+	dir := t.TempDir()
+	mOut := filepath.Join(dir, "m.json")
+	tOut := filepath.Join(dir, "t.jsonl")
+	var stdout, stderr strings.Builder
+	args := []string{"-run", "fig4", "-fast", "-metrics-out", mOut, "-trace-out", tOut}
+	if code := run(context.Background(), args, &stdout, &stderr); code != 0 {
+		t.Fatalf("run exited %d: %s", code, stderr.String())
+	}
+
+	mf, err := os.Open(mOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	snap, err := telemetry.ReadSnapshot(mf)
+	if err != nil {
+		t.Fatalf("-metrics-out is not a valid snapshot: %v", err)
+	}
+	recs, ok := snap.Timeline("fig4/timeline")
+	if !ok || len(recs) == 0 {
+		t.Fatalf("snapshot must hold fig4/timeline records, got %v (present %v)", recs, ok)
+	}
+	if _, ok := recs[0]["usable_levels"]; !ok {
+		t.Fatalf("timeline record lacks usable_levels: %v", recs[0])
+	}
+
+	tf, err := os.Open(tOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	trace, err := telemetry.ReadTrace(tf)
+	if err != nil {
+		t.Fatalf("-trace-out is not valid JSONL: %v", err)
+	}
+	spans := 0
+	for _, r := range trace {
+		if r.Type == "span" && r.Name == "experiment/run" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		t.Fatalf("trace must hold at least one experiment/run span, got %d records", len(trace))
+	}
+
+	// The session must uninstall its globals on the way out.
+	if telemetry.Global() != nil || telemetry.GlobalTracer() != nil {
+		t.Fatal("telemetry globals must be uninstalled after run")
+	}
+}
+
+// TestCLIDebugAddr checks the listener starts, announces its address,
+// and does not outlive the invocation.
+func TestCLIDebugAddr(t *testing.T) {
+	var stdout, stderr strings.Builder
+	args := []string{"-run", "fig4", "-fast", "-debug-addr", "127.0.0.1:0"}
+	if code := run(context.Background(), args, &stdout, &stderr); code != 0 {
+		t.Fatalf("run exited %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "debug server on http://127.0.0.1:") {
+		t.Fatalf("stderr must announce the debug address:\n%s", stderr.String())
+	}
+}
+
+// TestCLICancelledCampaignLeavesNoPartialJSON is the signal-cancel fix:
+// an interrupted campaign must leave either no -json file or a complete
+// one — never a truncated document — and no stray temp files. The
+// -metrics-out snapshot is still written (telemetry outlives the failed
+// mode), atomically.
+func TestCLICancelledCampaignLeavesNoPartialJSON(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.json")
+	mOut := filepath.Join(dir, "m.json")
+	var stdout, stderr strings.Builder
+	args := []string{"-run", "fig4", "-fast", "-seeds", "3", "-json", out, "-metrics-out", mOut}
+	if code := run(ctx, args, &stdout, &stderr); code != 1 {
+		t.Fatalf("cancelled campaign must exit 1, got %d (stderr: %s)", code, stderr.String())
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Fatalf("cancelled campaign must not leave a -json file, stat err = %v", err)
+	}
+	mf, err := os.Open(mOut)
+	if err != nil {
+		t.Fatalf("-metrics-out must be written even on failure: %v", err)
+	}
+	defer mf.Close()
+	if _, err := telemetry.ReadSnapshot(mf); err != nil {
+		t.Fatalf("failure-path snapshot must still be valid: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("stray temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+// TestWriteFileAtomicReplacesAndCleansUp pins the helper's contract:
+// success replaces the destination in one rename; a failed write leaves
+// the old content untouched and removes its temp file.
+func TestWriteFileAtomicReplacesAndCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.json")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("new"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "new" {
+		t.Fatalf("content = %q, err %v, want new", got, err)
+	}
+
+	boom := errors.New("boom")
+	if err := writeFileAtomic(path, func(io.Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("writer error must propagate, got %v", err)
+	}
+	got, err = os.ReadFile(path)
+	if err != nil || string(got) != "new" {
+		t.Fatalf("failed write must leave old content, got %q err %v", got, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp files must be cleaned up, dir holds %d entries", len(entries))
+	}
+}

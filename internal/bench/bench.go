@@ -23,6 +23,7 @@ import (
 	"memlife/internal/aging"
 	"memlife/internal/crossbar"
 	"memlife/internal/device"
+	"memlife/internal/telemetry"
 	"memlife/internal/tensor"
 )
 
@@ -181,6 +182,20 @@ func kernels() ([]kernel, error) {
 				tensor.MatMulInto(dst, a, w)
 			}
 		}},
+		{name: "telemetry/counter_disabled", run: func(b *testing.B) {
+			// The disabled-telemetry fast path: a nil registry hands out a
+			// nil counter whose Inc is a single-branch no-op. The gate
+			// pins this at 0 allocs/op so instrumenting hot loops stays
+			// free when no -metrics-out/-trace-out/-debug-addr is set.
+			var reg *telemetry.Registry
+			c := reg.Counter("bench/disabled")
+			h := reg.Histogram("bench/disabled_ns", telemetry.NsBounds())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Inc()
+				h.Observe(float64(i))
+			}
+		}},
 		{name: "mapweights", run: func(b *testing.B) {
 			// Its own array: repeated programming ages devices, and that
 			// wear must not leak into the read kernels.
@@ -281,7 +296,7 @@ func Compare(base, cur Report, tol float64) error {
 			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op exceeds baseline %.0f ns/op by more than %gx",
 				b.Name, c.NsPerOp, b.NsPerOp, 1+tol))
 		}
-		if maxAllocs := b.AllocsPerOp+b.AllocsPerOp/4+2; c.AllocsPerOp > maxAllocs {
+		if maxAllocs := b.AllocsPerOp + b.AllocsPerOp/4 + 2; c.AllocsPerOp > maxAllocs {
 			failures = append(failures, fmt.Sprintf("%s: %d allocs/op exceeds baseline %d allocs/op (limit %d)",
 				b.Name, c.AllocsPerOp, b.AllocsPerOp, maxAllocs))
 		}

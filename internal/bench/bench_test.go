@@ -109,7 +109,7 @@ func TestSpeedup(t *testing.T) {
 }
 
 func TestNamesCoverTheContract(t *testing.T) {
-	want := []string{"effweights/cached", "effweights/naive", "mapweights", "matmul", "vmm/cached", "vmm/naive", "vmmbatch"}
+	want := []string{"effweights/cached", "effweights/naive", "mapweights", "matmul", "telemetry/counter_disabled", "vmm/cached", "vmm/naive", "vmmbatch"}
 	got := Names()
 	sort.Strings(want)
 	if len(got) != len(want) {
@@ -125,6 +125,30 @@ func TestNamesCoverTheContract(t *testing.T) {
 func TestRunRejectsUnknownKernel(t *testing.T) {
 	if _, err := Run("d", []string{"no/such/kernel"}); err == nil {
 		t.Fatal("unknown kernel name must be rejected")
+	}
+}
+
+// TestDisabledTelemetryZeroAlloc is the regression gate for the
+// nil-sink fast path: incrementing a counter and observing a histogram
+// from a disabled (nil) registry must cost 0 allocs/op and 0 bytes/op,
+// so leaving instrumentation in hot simulation loops is free when no
+// telemetry flag is set. Skipped in -short runs like the other
+// measurement tests (testing.Benchmark spends ~1s per kernel).
+func TestDisabledTelemetryZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark measurement in -short mode")
+	}
+	rep, err := Run("test", []string{"telemetry/counter_disabled"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := rep.Get("telemetry/counter_disabled")
+	if !ok {
+		t.Fatal("telemetry kernel missing from report")
+	}
+	if r.AllocsPerOp != 0 || r.BytesPerOp != 0 {
+		t.Fatalf("disabled telemetry path allocates: %d allocs/op, %d bytes/op (want 0/0)",
+			r.AllocsPerOp, r.BytesPerOp)
 	}
 }
 

@@ -8,6 +8,9 @@ import (
 	"io/fs"
 	"os"
 	"sync"
+	"time"
+
+	"memlife/internal/telemetry"
 )
 
 // checkpointRecord is one line of the JSONL checkpoint journal: a
@@ -89,6 +92,9 @@ func loadCheckpoint(path, fingerprint string) (map[int]ShardResult, error) {
 type journal struct {
 	mu sync.Mutex
 	f  *os.File
+	// fsyncNs, when non-nil, observes the wall time of each append
+	// (write + fsync) — the per-record durability cost.
+	fsyncNs *telemetry.Histogram
 }
 
 func openJournal(path string) (*journal, error) {
@@ -107,6 +113,9 @@ func (j *journal) append(rec checkpointRecord) error {
 	b = append(b, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.fsyncNs != nil {
+		defer func(t0 time.Time) { j.fsyncNs.Observe(float64(time.Since(t0))) }(time.Now())
+	}
 	if _, err := j.f.Write(b); err != nil {
 		return fmt.Errorf("campaign: journal shard %d: %w", rec.Index, err)
 	}

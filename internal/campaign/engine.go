@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"memlife/internal/telemetry"
 )
 
 // Config parameterizes one campaign execution (everything about *how*
@@ -58,7 +60,23 @@ type Result struct {
 // killing the process loses at most in-flight shards, and a later Run
 // with Config.Resume picks up where this one stopped. The first shard
 // error cancels the remaining work and is returned.
+//
+// Each execution emits one "campaign/run" trace span and feeds the
+// campaign/* instruments (shard durations, busy workers, checkpoint
+// fsync latency — see telemetry.go).
 func Run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
+	sp := telemetry.StartSpan("campaign/run")
+	out, err := run(ctx, spec, cfg)
+	attrs := telemetry.Attrs{"ok": err == nil}
+	if out != nil {
+		attrs["shards"] = len(out.Shards)
+		attrs["resumed"] = out.Resumed
+	}
+	sp.End(attrs)
+	return out, err
+}
+
+func run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 	start := time.Now()
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -78,6 +96,7 @@ func Run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 	if rep == nil {
 		rep = NopReporter()
 	}
+	tel := newCampaignTel()
 
 	fp := spec.Fingerprint()
 	shards := spec.Shards()
@@ -92,6 +111,7 @@ func Run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
+	tel.shardsResumed.Add(int64(len(done)))
 	var jnl *journal
 	if cfg.CheckpointPath != "" {
 		var err error
@@ -99,6 +119,7 @@ func Run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		jnl.fsyncNs = tel.fsyncNs
 		defer jnl.Close()
 	}
 
@@ -155,6 +176,7 @@ func Run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 					return
 				}
 				rep.ShardStarted(worker, s)
+				tel.busyWorkers.Add(1)
 				var shardLog io.Writer = io.Discard
 				var closer io.Closer
 				if logMux != nil {
@@ -166,11 +188,14 @@ func Run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 				if closer != nil {
 					closer.Close()
 				}
+				tel.busyWorkers.Add(-1)
 				if err != nil {
 					fail(fmt.Errorf("campaign: shard %s (seed %d): %w", s.Label(), s.Seed, err))
 					return
 				}
 				elapsed := time.Since(t0)
+				tel.shardNs.Observe(float64(elapsed))
+				tel.shardsDone.Inc()
 				if jnl != nil {
 					err := jnl.append(checkpointRecord{
 						Fingerprint: fp,

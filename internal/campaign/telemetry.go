@@ -1,0 +1,47 @@
+package campaign
+
+import "memlife/internal/telemetry"
+
+// campaignTel holds the engine's telemetry handles, resolved once per
+// Run from the global registry (all-nil when telemetry is disabled).
+// Everything here is scheduling observability — durations, pool
+// utilization, fsync cost — and never feeds back into results, which
+// stay byte-identical across worker counts with telemetry on or off.
+type campaignTel struct {
+	shardsDone    *telemetry.Counter
+	shardsResumed *telemetry.Counter
+	busyWorkers   *telemetry.Gauge
+	shardNs       *telemetry.Histogram // per-shard wall time
+	fsyncNs       *telemetry.Histogram // checkpoint append+fsync wall time
+}
+
+func newCampaignTel() campaignTel {
+	r := telemetry.Global()
+	if r == nil {
+		return campaignTel{}
+	}
+	return campaignTel{
+		shardsDone:    r.Counter("campaign/shards_done"),
+		shardsResumed: r.Counter("campaign/shards_resumed"),
+		busyWorkers:   r.Gauge("campaign/busy_workers"),
+		shardNs:       r.Histogram("campaign/shard_ns", telemetry.NsBounds()),
+		fsyncNs:       r.Histogram("campaign/checkpoint_fsync_ns", telemetry.NsBounds()),
+	}
+}
+
+// liveCacheHitRate reads the crossbar read-cache hit rate from the live
+// global registry — the reporter upgrade: progress lines show how well
+// the cached read path is doing while the campaign runs. ok is false
+// when telemetry is off or no reads have happened yet.
+func liveCacheHitRate() (float64, bool) {
+	r := telemetry.Global()
+	if r == nil {
+		return 0, false
+	}
+	hits := r.Counter("crossbar/cache_hits").Value()
+	misses := r.Counter("crossbar/cache_misses").Value()
+	if hits+misses == 0 {
+		return 0, false
+	}
+	return float64(hits) / float64(hits+misses), true
+}

@@ -42,8 +42,10 @@ func (c *Crossbar) invalidate() { c.effValid = false }
 // of the array, so VMM streams it sequentially.
 func (c *Crossbar) ensure() {
 	if c.effValid {
+		c.tel.cacheHits.Inc()
 		return
 	}
+	c.tel.cacheMisses.Inc()
 	if c.eff == nil {
 		c.eff = tensor.New(c.Rows, c.Cols)
 		c.effT = tensor.New(c.Cols, c.Rows)

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"memlife/internal/aging"
 	"memlife/internal/device"
@@ -49,6 +50,10 @@ type Crossbar struct {
 	// VMM), and whether they are current.
 	eff, effT *tensor.Tensor
 	effValid  bool
+
+	// tel is the telemetry handle set (see telemetry.go); all-nil when
+	// telemetry is disabled, making every instrumented site a no-op.
+	tel crossbarTel
 }
 
 // New constructs a fresh crossbar.
@@ -70,6 +75,7 @@ func New(rows, cols int, p device.Params, m aging.Model, tempK float64) (*Crossb
 		params: p, model: m, tempK: tempK,
 		devices:     make([]*device.Device, rows*cols),
 		traceStride: 3,
+		tel:         newCrossbarTel(),
 	}
 	for i := range cb.devices {
 		cb.devices[i] = device.New(p)
@@ -95,6 +101,7 @@ func (c *Crossbar) SetTempK(t float64) error {
 		return fmt.Errorf("crossbar: temperature must be positive, got %g", t)
 	}
 	c.tempK = t
+	c.tel.invalTemp.Inc()
 	c.invalidate()
 	return nil
 }
@@ -110,6 +117,7 @@ func (c *Crossbar) at(i, j int) *device.Device {
 // hatch conservatively invalidates the cached read path; simulation
 // code on the hot path uses the crossbar's own methods instead.
 func (c *Crossbar) Device(i, j int) *device.Device {
+	c.tel.invalDevice.Inc()
 	c.invalidate()
 	return c.devices[i*c.Cols+j]
 }
@@ -188,13 +196,16 @@ func (c *Crossbar) MapWeights(w *tensor.Tensor, rLo, rHi float64) MapStats {
 	c.wMin, c.wMax = wMin, wMax
 	c.rLo, c.rHi = rLo, rHi
 	c.mapped = true
+	c.tel.invalMap.Inc()
 	c.invalidate() // ranges and (potentially) every device changed
 
 	var stats MapStats
+	usable := usableAccum{track: c.tel.usableMean != nil}
 	for i := 0; i < c.Rows; i++ {
 		for j := 0; j < c.Cols; j++ {
 			target := TargetResistance(w.At(i, j), wMin, wMax, rLo, rHi)
 			lo, hi := c.AgedBounds(i, j)
+			usable.observe(c.params, lo, hi)
 			res := c.at(i, j).Program(target, lo, hi)
 			stats.Pulses += res.Pulses
 			stats.Stress += res.Stress
@@ -206,6 +217,7 @@ func (c *Crossbar) MapWeights(w *tensor.Tensor, rLo, rHi float64) MapStats {
 			}
 		}
 	}
+	c.recordMapTel(stats, usable)
 	return stats
 }
 
@@ -232,6 +244,9 @@ func (c *Crossbar) EffectiveWeights() (*tensor.Tensor, error) {
 // cached matrix (bit-identical to VMMNaive). It returns an error on an
 // input size mismatch or before the first MapWeights.
 func (c *Crossbar) VMM(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if c.tel.vmmNs != nil {
+		defer func(t0 time.Time) { c.tel.vmmNs.Observe(float64(time.Since(t0))) }(time.Now())
+	}
 	if x.Size() != c.Rows {
 		return nil, fmt.Errorf("crossbar: VMM input size %d, want %d", x.Size(), c.Rows)
 	}
@@ -257,6 +272,9 @@ func (c *Crossbar) VMM(x *tensor.Tensor) (*tensor.Tensor, error) {
 // workers > 1 opts into the deterministic row-parallel kernel (output
 // bits are identical for every worker count).
 func (c *Crossbar) VMMBatch(x *tensor.Tensor, workers int) (*tensor.Tensor, error) {
+	if c.tel.vmmBatchNs != nil {
+		defer func(t0 time.Time) { c.tel.vmmBatchNs.Observe(float64(time.Since(t0))) }(time.Now())
+	}
 	if x.Rank() != 2 || x.Dim(1) != c.Rows {
 		return nil, fmt.Errorf("crossbar: VMMBatch input shape %v, want [B %d]", x.Shape(), c.Rows)
 	}
@@ -292,10 +310,16 @@ func (c *Crossbar) StepDevice(i, j, dir int) (stress float64, applied bool) {
 	}
 	d := c.at(i, j)
 	if d.Stuck() {
-		return d.FailedPulse(), false
+		s := d.FailedPulse()
+		c.tel.pulses.Inc()
+		c.tel.stress.Add(s)
+		return s, false
 	}
 	if c.inj != nil && c.inj.PulseFails() {
-		return d.FailedPulse(), false
+		s := d.FailedPulse()
+		c.tel.pulses.Inc()
+		c.tel.stress.Add(s)
+		return s, false
 	}
 	lo, hi := c.AgedBounds(i, j)
 	if lo < c.params.RminFresh {
@@ -305,6 +329,8 @@ func (c *Crossbar) StepDevice(i, j, dir int) (stress float64, applied bool) {
 		hi = lo
 	}
 	stress = d.Pulse(dir, lo, hi)
+	c.tel.pulses.Inc()
+	c.tel.stress.Add(stress)
 	// A pulse that took moved exactly this cell: patch the cached read
 	// path instead of invalidating it (failed pulses leave the
 	// resistance — and therefore the cache — untouched).
@@ -322,6 +348,7 @@ func (c *Crossbar) RandomizeAging(sigma float64, rng *tensor.RNG) {
 	for _, d := range c.devices {
 		d.SetAgingFactor(math.Exp(rng.Normal(0, sigma)))
 	}
+	c.tel.invalAging.Inc()
 	c.invalidate()
 }
 
@@ -332,6 +359,7 @@ func (c *Crossbar) AddStress(s float64) {
 	for _, d := range c.devices {
 		d.AddStress(s)
 	}
+	c.tel.invalStress.Inc()
 	c.invalidate()
 }
 
@@ -353,6 +381,7 @@ func (c *Crossbar) Drift(sigma float64, rng *tensor.RNG) {
 			d.Drift(rng.Normal(0, sigma*d.Resistance()), lo, hi)
 		}
 	}
+	c.tel.invalDrift.Inc()
 	c.invalidate() // every healthy device may have moved
 }
 

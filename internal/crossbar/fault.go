@@ -21,6 +21,7 @@ func (c *Crossbar) SetFaultInjector(inj *fault.Injector) error {
 		return fmt.Errorf("crossbar: injector built for %d devices, array has %d", inj.N(), c.Rows*c.Cols)
 	}
 	c.inj = inj
+	c.tel.invalFaults.Inc()
 	c.invalidate() // initial stuck faults pin device resistances
 	if inj == nil {
 		return nil
@@ -137,6 +138,7 @@ func (c *Crossbar) MapWeightsFaultAware(w *tensor.Tensor, rLo, rHi float64) MapS
 	c.wMin, c.wMax = wMin, wMax
 	c.rLo, c.rHi = rLo, rHi
 	c.mapped = true
+	c.tel.invalMap.Inc()
 	c.invalidate() // ranges and (potentially) every healthy device changed
 
 	// Per-column compensation offsets for the healthy devices.
@@ -158,6 +160,7 @@ func (c *Crossbar) MapWeightsFaultAware(w *tensor.Tensor, rLo, rHi float64) MapS
 	}
 
 	var stats MapStats
+	usable := usableAccum{track: c.tel.usableMean != nil}
 	for i := 0; i < c.Rows; i++ {
 		for j := 0; j < c.Cols; j++ {
 			if c.at(i, j).Stuck() {
@@ -166,6 +169,7 @@ func (c *Crossbar) MapWeightsFaultAware(w *tensor.Tensor, rLo, rHi float64) MapS
 			}
 			target := TargetResistance(w.At(i, j)+comp[j], wMin, wMax, rLo, rHi)
 			lo, hi := c.AgedBounds(i, j)
+			usable.observe(c.params, lo, hi)
 			res := c.at(i, j).Program(target, lo, hi)
 			stats.Pulses += res.Pulses
 			stats.Stress += res.Stress
@@ -174,6 +178,7 @@ func (c *Crossbar) MapWeightsFaultAware(w *tensor.Tensor, rLo, rHi float64) MapS
 			}
 		}
 	}
+	c.recordMapTel(stats, usable)
 	return stats
 }
 

@@ -15,7 +15,7 @@ import (
 func FuzzTargetEffectiveRoundTrip(f *testing.F) {
 	f.Add(0.3, -1.0, 1.0, 1e3, 1e4)
 	f.Add(-0.5, -0.5, 0.5, 500.0, 20_000.0)
-	f.Add(0.0, 0.0, 0.0, 1e3, 1e4)   // degenerate weight window
+	f.Add(0.0, 0.0, 0.0, 1e3, 1e4) // degenerate weight window
 	f.Add(1.0, 1.0, 1.0001, 1e3, 1e4)
 	f.Add(-3.0, -1.0, 1.0, 900.0, 1_000.0) // w outside the window, narrow range
 	f.Fuzz(func(t *testing.T, w, wMin, wMax, rLo, rHi float64) {

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"memlife/internal/analysis"
+	"memlife/internal/telemetry"
 )
 
 // Fig4Point is one sample of the aged-range trajectory of Fig. 4.
@@ -28,15 +29,23 @@ func Fig4(opt Options) ([]Fig4Point, error) {
 		points = 10
 	}
 	// Geometric stress sweep from fresh to heavily worn.
+	tl := telemetry.T("fig4/timeline")
 	stress := 0.0
 	step := 1.0
 	for i := 0; i < points; i++ {
 		lo, hi := m.Bounds(p, stress, TempK)
+		n := p.UsableLevels(lo, hi)
 		out = append(out, Fig4Point{
 			Stress:       stress,
 			UpperBound:   hi,
 			LowerBound:   lo,
-			UsableLevels: p.UsableLevels(lo, hi),
+			UsableLevels: n,
+		})
+		tl.Append(map[string]float64{
+			"stress":        stress,
+			"upper_bound":   hi,
+			"lower_bound":   lo,
+			"usable_levels": float64(n),
 		})
 		stress += step
 		step *= 1.5

@@ -14,14 +14,30 @@ import (
 // per-metric statistics group correctly.
 
 // metricSlug derives a short, stable key fragment from a display name:
-// the lowercased portion before any parenthesised qualifier, with
-// spaces collapsed to dashes ("LeNet-5 (MNIST)" -> "lenet-5").
+// lowercase, with runs of non-alphanumeric characters collapsed to
+// single dashes ("LeNet-5 (MNIST)" -> "lenet-5-mnist"). The whole name
+// participates — including any parenthesised qualifier — because
+// distinct display names must map to distinct keys: the old slug
+// stripped the qualifier and silently merged "MLP (MNIST)" and "MLP
+// (CIFAR)" into one aggregated statistic. Dots survive (width
+// qualifiers like "(x0.25)" use them); names without a qualifier keep
+// their historical slugs ("LeNet-5" -> "lenet-5").
 func metricSlug(name string) string {
-	if i := strings.IndexByte(name, '('); i >= 0 {
-		name = name[:i]
+	var b strings.Builder
+	dash := false
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '.':
+			if dash && b.Len() > 0 {
+				b.WriteByte('-')
+			}
+			dash = false
+			b.WriteRune(r)
+		default:
+			dash = true
+		}
 	}
-	name = strings.ToLower(strings.TrimSpace(name))
-	return strings.ReplaceAll(name, " ", "-")
+	return b.String()
 }
 
 // scenarioSlug flattens a lifetime scenario name into a key fragment:

@@ -103,15 +103,23 @@ func TestBundleCacheRetriesAfterCancellation(t *testing.T) {
 
 func TestMetricSlug(t *testing.T) {
 	cases := map[string]string{
-		"LeNet-5 (MNIST)":   "lenet-5",
-		"VGG-16 (CIFAR-10)": "vgg-16",
+		"LeNet-5":           "lenet-5", // no qualifier: historical slug preserved
+		"LeNet-5 (MNIST)":   "lenet-5-mnist",
+		"VGG-16 (CIFAR-10)": "vgg-16-cifar-10",
+		"VGG-16(x0.25)":     "vgg-16-x0.25",
 		"Some Net":          "some-net",
-		" Padded (x) ":      "padded",
+		" Padded (x) ":      "padded-x",
 	}
 	for in, want := range cases {
 		if got := metricSlug(in); got != want {
 			t.Errorf("metricSlug(%q) = %q, want %q", in, got, want)
 		}
+	}
+	// The regression that motivated the rewrite: display names differing
+	// only inside the parenthesised qualifier must not merge into one
+	// aggregation key.
+	if metricSlug("MLP (MNIST)") == metricSlug("MLP (CIFAR)") {
+		t.Fatal("qualifier-only differences must produce distinct slugs")
 	}
 }
 

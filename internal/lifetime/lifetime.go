@@ -37,6 +37,7 @@ import (
 	"memlife/internal/fault"
 	"memlife/internal/mapping"
 	"memlife/internal/nn"
+	"memlife/internal/telemetry"
 	"memlife/internal/tensor"
 	"memlife/internal/tuning"
 )
@@ -272,7 +273,26 @@ func Run(net *nn.Network, trainDS *dataset.Dataset, sc Scenario, p device.Params
 // the initial mapping and at every deployment cycle, returning
 // ctx.Err() (wrapped) as soon as the context is cancelled or times
 // out. A cancelled run's partial Result is not meaningful.
+//
+// Every run emits one "lifetime/run" trace span and, per deployment
+// cycle, one record on the "lifetime/timeline" instrument plus a
+// "lifetime/cycle" trace event (see telemetry.go). Telemetry never
+// feeds back into the simulation: results are bit-identical with it on
+// or off.
 func RunCtx(ctx context.Context, net *nn.Network, trainDS *dataset.Dataset, sc Scenario, p device.Params, model aging.Model, tempK float64, cfg Config) (Result, error) {
+	sp := telemetry.StartSpan("lifetime/run")
+	res, err := runCtx(ctx, net, trainDS, sc, p, model, tempK, cfg)
+	recordRunTel(res, err)
+	sp.End(telemetry.Attrs{
+		"scenario": res.Scenario.String(),
+		"lifetime": res.Lifetime,
+		"failed":   res.Failed,
+		"cycles":   len(res.Records),
+	})
+	return res, err
+}
+
+func runCtx(ctx context.Context, net *nn.Network, trainDS *dataset.Dataset, sc Scenario, p device.Params, model aging.Model, tempK float64, cfg Config) (Result, error) {
 	res := Result{Scenario: sc}
 	if err := cfg.Validate(); err != nil {
 		return res, err
@@ -395,6 +415,7 @@ func RunCtx(ctx context.Context, net *nn.Network, trainDS *dataset.Dataset, sc S
 		if !rec.Converged {
 			// Every degradation stage is exhausted: failure.
 			rec.Apps = apps
+			recordCycleTel(rec)
 			res.Records = append(res.Records, rec)
 			res.Lifetime = apps
 			res.Failed = true
@@ -405,6 +426,7 @@ func RunCtx(ctx context.Context, net *nn.Network, trainDS *dataset.Dataset, sc S
 		}
 		apps += cfg.AppsPerCycle
 		rec.Apps = apps
+		recordCycleTel(rec)
 		res.Records = append(res.Records, rec)
 	}
 	res.Lifetime = apps

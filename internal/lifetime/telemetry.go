@@ -1,0 +1,75 @@
+package lifetime
+
+import "memlife/internal/telemetry"
+
+// Telemetry for the lifetime layer. Handles are resolved per call from
+// the global registry — a deployment cycle costs full tuning runs, so
+// the lookups are noise — and everything recorded here is a pure
+// function of the simulated events (no wall-clock instruments), so the
+// deterministic snapshot of two identical runs is bit-identical.
+//
+// Note on parallel campaigns: shards running concurrently append to the
+// same "lifetime/timeline" instrument, so records from different shards
+// interleave in schedule-dependent order. Each record carries its cycle
+// number; consumers needing per-run trajectories should run sequentially
+// (workers=1) or read Result.Records, which is always per-run.
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// recordCycleTel publishes one deployment cycle: a structured record on
+// the lifetime timeline (the data behind the Fig. 10/11 trajectories —
+// accuracy, tuning iterations, aged bounds by layer kind), a trace
+// event, and the cycle counters.
+func recordCycleTel(rec CycleRecord) {
+	if telemetry.Global() == nil && telemetry.GlobalTracer() == nil {
+		return
+	}
+	telemetry.T("lifetime/timeline").Append(map[string]float64{
+		"cycle":       float64(rec.Cycle),
+		"apps":        float64(rec.Apps),
+		"tune_iters":  float64(rec.TuneIters),
+		"converged":   b2f(rec.Converged),
+		"acc":         rec.Acc,
+		"remapped":    b2f(rec.Remapped),
+		"map_clipped": float64(rec.MapClipped),
+		"conv_upper":  rec.ConvUpper,
+		"fc_upper":    rec.FCUpper,
+		"stuck":       float64(rec.Stuck),
+		"retries":     float64(rec.Retries),
+		"degraded":    b2f(rec.Degraded),
+	})
+	telemetry.C("lifetime/cycles_total").Inc()
+	if rec.Remapped {
+		telemetry.C("lifetime/remaps_total").Inc()
+	}
+	if rec.Degraded {
+		telemetry.C("lifetime/degraded_cycles_total").Inc()
+	}
+	telemetry.Event("lifetime/cycle", telemetry.Attrs{
+		"cycle":      rec.Cycle,
+		"acc":        rec.Acc,
+		"tune_iters": rec.TuneIters,
+		"remapped":   rec.Remapped,
+		"stuck":      rec.Stuck,
+	})
+}
+
+// recordRunTel publishes the outcome of one lifetime run.
+func recordRunTel(res Result, err error) {
+	if telemetry.Global() == nil {
+		return
+	}
+	if err != nil {
+		telemetry.C("lifetime/errors").Inc()
+		return
+	}
+	telemetry.C("lifetime/runs").Inc()
+	if res.Failed {
+		telemetry.C("lifetime/failures").Inc()
+	}
+}

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugMux returns the introspection HTTP handler:
+//
+//	/metrics/json  — canonical JSON snapshot of reg (live values)
+//	/healthz       — "ok\n" once the process is serving
+//	/debug/pprof/* — net/http/pprof profiles
+//
+// reg may be nil (serves an empty snapshot). The mux is read-only: no
+// endpoint mutates registry or simulation state.
+func DebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics/json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := reg.Snapshot().WriteJSON(w); err != nil {
+			// Headers are gone; nothing useful left to do.
+			return
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugServer is a running debug listener (see StartDebug).
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartDebug binds addr (host:port; ":0" picks a free port) and serves
+// DebugMux(reg) in a background goroutine until Close.
+func StartDebug(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: debug listener: %w", err)
+	}
+	srv := &http.Server{Handler: DebugMux(reg), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // always ErrServerClosed after Close
+	return &DebugServer{srv: srv, ln: ln}, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close gracefully shuts the server down (bounded wait, then hard
+// close). Safe on nil.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return d.srv.Shutdown(ctx)
+}

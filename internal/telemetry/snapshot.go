@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// CounterSnap is one counter in a snapshot.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnap is one gauge in a snapshot.
+type GaugeSnap struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// BucketSnap is one histogram bucket: the count of observations with
+// value <= LE.
+type BucketSnap struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// HistogramSnap is one histogram in a snapshot. Overflow counts
+// observations above the last bucket bound (the implicit +Inf bucket,
+// kept separate because JSON cannot encode infinity).
+type HistogramSnap struct {
+	Name     string       `json:"name"`
+	Count    int64        `json:"count"`
+	Sum      float64      `json:"sum"`
+	Buckets  []BucketSnap `json:"buckets"`
+	Overflow int64        `json:"overflow"`
+}
+
+// TimelineSnap is one timeline in a snapshot: records in append order.
+// Dropped counts records lost to the per-timeline cap (0 in any sane
+// run).
+type TimelineSnap struct {
+	Name    string               `json:"name"`
+	Records []map[string]float64 `json:"records"`
+	Dropped int64                `json:"dropped,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a registry, ordered by
+// instrument name within each kind — the canonical JSON form written
+// by -metrics-out and served at /metrics/json.
+type Snapshot struct {
+	Counters   []CounterSnap   `json:"counters"`
+	Gauges     []GaugeSnap     `json:"gauges"`
+	Histograms []HistogramSnap `json:"histograms"`
+	Timelines  []TimelineSnap  `json:"timelines"`
+}
+
+// Snapshot copies the registry's current state. Safe to call
+// concurrently with instrument updates; each instrument is read
+// atomically (a snapshot taken mid-run is internally consistent per
+// instrument, not across instruments). A nil registry snapshots empty.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	s.Counters = []CounterSnap{}
+	s.Gauges = []GaugeSnap{}
+	s.Histograms = []HistogramSnap{}
+	s.Timelines = []TimelineSnap{}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	timelines := make(map[string]*Timeline, len(r.timelines))
+	for k, v := range r.timelines {
+		timelines[k] = v
+	}
+	r.mu.Unlock()
+
+	for name, c := range counters {
+		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: c.Value()})
+	}
+	for name, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: g.Value()})
+	}
+	for name, h := range hists {
+		hs := HistogramSnap{Name: name, Count: h.Count(), Sum: h.Sum()}
+		for i, b := range h.bounds {
+			hs.Buckets = append(hs.Buckets, BucketSnap{LE: b, Count: h.counts[i].Load()})
+		}
+		hs.Overflow = h.counts[len(h.bounds)].Load()
+		s.Histograms = append(s.Histograms, hs)
+	}
+	for name, t := range timelines {
+		t.mu.Lock()
+		ts := TimelineSnap{Name: name, Records: make([]map[string]float64, len(t.records)), Dropped: t.dropped}
+		for i, rec := range t.records {
+			cp := make(map[string]float64, len(rec))
+			for k, v := range rec {
+				cp[k] = v
+			}
+			ts.Records[i] = cp
+		}
+		t.mu.Unlock()
+		s.Timelines = append(s.Timelines, ts)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	sort.Slice(s.Timelines, func(i, j int) bool { return s.Timelines[i].Name < s.Timelines[j].Name })
+	return s
+}
+
+// wallClock reports whether the instrument name records wall-clock
+// time (the "_ns" naming convention) and is therefore excluded from
+// determinism comparisons.
+func wallClock(name string) bool { return strings.HasSuffix(name, "_ns") }
+
+// Deterministic returns a copy of the snapshot with every wall-clock
+// instrument removed: what remains is a pure function of the simulated
+// events, bit-identical across identical runs — the subset the
+// determinism tests compare.
+func (s Snapshot) Deterministic() Snapshot {
+	out := Snapshot{
+		Counters:   []CounterSnap{},
+		Gauges:     []GaugeSnap{},
+		Histograms: []HistogramSnap{},
+		Timelines:  []TimelineSnap{},
+	}
+	for _, c := range s.Counters {
+		if !wallClock(c.Name) {
+			out.Counters = append(out.Counters, c)
+		}
+	}
+	for _, g := range s.Gauges {
+		if !wallClock(g.Name) {
+			out.Gauges = append(out.Gauges, g)
+		}
+	}
+	for _, h := range s.Histograms {
+		if !wallClock(h.Name) {
+			out.Histograms = append(out.Histograms, h)
+		}
+	}
+	for _, t := range s.Timelines {
+		if !wallClock(t.Name) {
+			out.Timelines = append(out.Timelines, t)
+		}
+	}
+	return out
+}
+
+// Counter returns the snapshotted value of the named counter (0, false
+// when absent).
+func (s Snapshot) Counter(name string) (int64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Timeline returns the snapshotted records of the named timeline (nil,
+// false when absent).
+func (s Snapshot) Timeline(name string) ([]map[string]float64, bool) {
+	for _, t := range s.Timelines {
+		if t.Name == name {
+			return t.Records, true
+		}
+	}
+	return nil, false
+}
+
+// WriteJSON writes the snapshot as canonical indented JSON: instrument
+// kinds in fixed order, instruments sorted by name, map keys sorted by
+// encoding/json.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry: encode snapshot: %w", err)
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// ReadSnapshot parses a snapshot written by WriteJSON.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("telemetry: decode snapshot: %w", err)
+	}
+	return s, nil
+}

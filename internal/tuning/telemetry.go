@@ -1,0 +1,24 @@
+package tuning
+
+import "memlife/internal/telemetry"
+
+// recordTuneTel publishes the outcome of one Tune invocation. Handles
+// are resolved per call: a tuning run costs many forward passes, so the
+// registry lookups are noise, and per-call resolution keeps the package
+// free of install-order coupling with telemetry.SetGlobal.
+func recordTuneTel(res Result, err error) {
+	if telemetry.Global() == nil {
+		return
+	}
+	if err != nil {
+		telemetry.C("tuning/errors").Inc()
+		return
+	}
+	telemetry.C("tuning/runs").Inc()
+	telemetry.C("tuning/iterations_total").Add(int64(res.Iterations))
+	telemetry.C("tuning/retries_total").Add(res.Retries)
+	telemetry.C("tuning/stuck_skipped_total").Add(res.StuckSkipped)
+	if !res.Converged {
+		telemetry.C("tuning/convergence_failures").Inc()
+	}
+}

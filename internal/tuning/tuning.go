@@ -19,6 +19,7 @@ import (
 	"memlife/internal/crossbar"
 	"memlife/internal/dataset"
 	"memlife/internal/nn"
+	"memlife/internal/telemetry"
 	"memlife/internal/tensor"
 )
 
@@ -127,7 +128,25 @@ type Result struct {
 // Tune runs the sign-based online tuning loop on mn. Gradient batches
 // come from ds; convergence is judged on (evalX, evalY) — in the
 // paper's flow both are training data.
+//
+// Every invocation emits one "tuning/tune" trace span and bumps the
+// tuning/* instruments (see telemetry.go); with telemetry disabled the
+// wrapper is a handful of nil checks.
 func Tune(mn *crossbar.MappedNetwork, ds *dataset.Dataset, evalX *tensor.Tensor, evalY []int, cfg Config) (Result, error) {
+	sp := telemetry.StartSpan("tuning/tune")
+	res, err := tune(mn, ds, evalX, evalY, cfg)
+	recordTuneTel(res, err)
+	sp.End(telemetry.Attrs{
+		"iterations": res.Iterations,
+		"converged":  res.Converged,
+		"final_acc":  res.FinalAcc,
+		"pulses":     res.Pulses,
+		"retries":    res.Retries,
+	})
+	return res, err
+}
+
+func tune(mn *crossbar.MappedNetwork, ds *dataset.Dataset, evalX *tensor.Tensor, evalY []int, cfg Config) (Result, error) {
 	var res Result
 	if err := cfg.Validate(); err != nil {
 		return res, err
