@@ -33,7 +33,7 @@ func benchLifetimeConfig(target float64) lifetime.Config {
 	cfg.TargetAcc = target
 	cfg.AppsPerCycle = 1000
 	cfg.MaxCycles = 12
-	cfg.TuneCap = 20
+	cfg.Tuning.MaxIters = 20
 	cfg.EvalN = 48
 	return cfg
 }

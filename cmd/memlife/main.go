@@ -10,11 +10,18 @@
 //	memlife -run table1 [-fast] [-seed N] [-v]
 //	memlife -all [-fast] [-workers M]
 //	memlife -run table1,fault-sweep -seeds 5 -workers 4 -json out.json [-resume]
+//	memlife -scenario file.json [-fast] [-seed N] [-dump-spec]
+//	memlife -version
 //
 // With -seeds/-json/-resume the selected experiments run as a Monte
 // Carlo campaign: every (experiment, seed) pair becomes one shard on a
 // bounded worker pool, completed shards are journaled to a checkpoint,
 // and the aggregated JSON is byte-identical whatever the worker count.
+//
+// With -scenario a custom scenario spec (see internal/spec and
+// examples/scenarios/) is resolved defaults -> file -> flags, validated
+// and run as a one-off lifetime simulation; -dump-spec prints the fully
+// resolved spec instead of running it.
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"memlife/internal/bench"
 	"memlife/internal/campaign"
 	"memlife/internal/experiments"
+	"memlife/internal/spec"
 	"memlife/internal/telemetry"
 )
 
@@ -59,6 +67,10 @@ type cliConfig struct {
 	checkpoint  string
 	resume      bool
 
+	scenario string
+	dumpSpec bool
+	version  bool
+
 	metricsOut string
 	traceOut   string
 	debugAddr  string
@@ -67,6 +79,11 @@ type cliConfig struct {
 	benchOut      string
 	benchBaseline string
 	benchTol      float64
+
+	// overrides carries the explicitly set CLI flags into stage 3 of
+	// the spec resolution chain (spec.Overrides); flags left at their
+	// defaults do not override scenario-file values.
+	overrides spec.Overrides
 }
 
 // run is the testable CLI entry point: it parses args, executes the
@@ -90,6 +107,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&c.jsonOut, "json", "", "campaign: write aggregated results as canonical JSON to this file")
 	fs.StringVar(&c.checkpoint, "checkpoint", "", "campaign: shard journal path (default <json>.ckpt.jsonl)")
 	fs.BoolVar(&c.resume, "resume", false, "campaign: skip shards already journaled in the checkpoint")
+	fs.StringVar(&c.scenario, "scenario", "", "run one scenario spec file (JSON, see examples/scenarios/); flags set explicitly override the file")
+	fs.BoolVar(&c.dumpSpec, "dump-spec", false, "resolve the scenario spec (defaults, -scenario file, flags) and print it as JSON instead of running")
+	fs.BoolVar(&c.version, "version", false, "print the build version and exit")
 	fs.StringVar(&c.metricsOut, "metrics-out", "", "write a telemetry snapshot (canonical JSON) to this file on exit")
 	fs.StringVar(&c.traceOut, "trace-out", "", "stream telemetry spans/events as JSONL to this file")
 	fs.StringVar(&c.debugAddr, "debug-addr", "", "serve /metrics/json, /healthz and net/http/pprof on this address (e.g. 127.0.0.1:6060)")
@@ -100,6 +120,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	// Only flags the user actually set become spec overrides — a flag's
+	// default must not clobber a scenario-file value.
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "fast":
+			c.overrides.Fast = &c.fast
+		case "seed":
+			c.overrides.Seed = &c.seed
+		case "eval-workers":
+			c.overrides.Workers = &c.evalWorkers
+		}
+	})
 	if fs.NArg() > 0 {
 		fmt.Fprintf(stderr, "memlife: unexpected argument %q (experiments are selected with -run)\n", fs.Arg(0))
 		return 2
@@ -111,6 +143,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if c.seeds < 1 {
 		fmt.Fprintln(stderr, "memlife: -seeds must be >= 1")
 		return 2
+	}
+	if c.version {
+		fmt.Fprintf(stdout, "memlife %s\n", buildVersion())
+		return 0
 	}
 
 	// Telemetry spans the whole invocation whatever mode runs below; the
@@ -130,7 +166,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 // dispatch routes the parsed invocation to its mode.
 func dispatch(ctx context.Context, c cliConfig, fs *flag.FlagSet, stdout, stderr io.Writer) int {
 	campaignMode := c.seeds > 1 || c.jsonOut != "" || c.resume || c.checkpoint != ""
+	specMode := c.scenario != "" || c.dumpSpec
 	switch {
+	case specMode:
+		if c.all || c.runIDs != "" || c.bench || campaignMode {
+			fmt.Fprintln(stderr, "memlife: -scenario/-dump-spec run one spec and exclude -run/-all/-bench and campaign flags")
+			return 2
+		}
+		return runScenario(ctx, c, stdout, stderr)
 	case c.bench:
 		if c.all || c.runIDs != "" || campaignMode {
 			fmt.Fprintln(stderr, "memlife: -bench runs the benchmark harness and takes no experiment selection")
@@ -174,6 +217,39 @@ func dispatch(ctx context.Context, c cliConfig, fs *flag.FlagSet, stdout, stderr
 		fs.Usage()
 		return 2
 	}
+}
+
+// runScenario is the unified-spec mode: resolve the scenario spec
+// through the three-stage chain (package defaults -> -scenario file ->
+// explicit flags), then either print the resolved spec (-dump-spec) or
+// execute the lifetime study it describes.
+func runScenario(ctx context.Context, c cliConfig, stdout, stderr io.Writer) int {
+	s, err := spec.ResolveFile(c.scenario, c.overrides)
+	if err != nil {
+		fmt.Fprintf(stderr, "memlife: %v\n", err)
+		return 1
+	}
+	if c.dumpSpec {
+		b, err := s.Dump()
+		if err != nil {
+			fmt.Fprintf(stderr, "memlife: %v\n", err)
+			return 1
+		}
+		stdout.Write(b)
+		return 0
+	}
+	opt := experiments.Options{Ctx: ctx}
+	if c.verb {
+		opt.Log = stderr
+	}
+	sp := telemetry.StartSpan("experiment/run")
+	err = experiments.RunScenario(stdout, s, opt)
+	sp.End(telemetry.Attrs{"id": "scenario", "ok": err == nil})
+	if err != nil {
+		fmt.Fprintf(stderr, "memlife: scenario failed: %v\n", err)
+		return 1
+	}
+	return 0
 }
 
 // runBench runs the registered micro-kernels through the bench harness,
@@ -373,11 +449,17 @@ func runCampaign(ctx context.Context, c cliConfig, stdout, stderr io.Writer) int
 	if code != 0 {
 		return code
 	}
-	spec := campaign.Spec{
+	hash, err := experiments.ConfigFingerprint(c.fast)
+	if err != nil {
+		fmt.Fprintf(stderr, "memlife: %v\n", err)
+		return 1
+	}
+	cspec := campaign.Spec{
 		Experiments: ids,
 		Seeds:       c.seeds,
 		BaseSeed:    c.seed,
 		Fast:        c.fast,
+		ConfigHash:  hash,
 	}
 	ckpt := c.checkpoint
 	if ckpt == "" && c.jsonOut != "" {
@@ -397,7 +479,7 @@ func runCampaign(ctx context.Context, c cliConfig, stdout, stderr io.Writer) int
 		cfg.Reporter = campaign.NewLogReporter(stderr)
 		cfg.Log = stderr
 	}
-	res, err := campaign.Run(ctx, spec, cfg)
+	res, err := campaign.Run(ctx, cspec, cfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "memlife: %v\n", err)
 		return 1

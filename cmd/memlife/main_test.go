@@ -171,3 +171,118 @@ func TestCancelledContextAborts(t *testing.T) {
 		t.Fatalf("stderr must mention the interruption:\n%s", stderr.String())
 	}
 }
+
+// TestVersionFlag: -version prints a build identifier and exits 0.
+func TestVersionFlag(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run(context.Background(), []string{"-version"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-version exited %d: %s", code, stderr.String())
+	}
+	if !strings.HasPrefix(stdout.String(), "memlife ") {
+		t.Fatalf("-version output must start with the binary name, got %q", stdout.String())
+	}
+}
+
+// dumpSpec runs -dump-spec with the given extra args and returns stdout.
+func dumpSpec(t *testing.T, extra ...string) string {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	args := append([]string{"-dump-spec"}, extra...)
+	if code := run(context.Background(), args, &stdout, &stderr); code != 0 {
+		t.Fatalf("-dump-spec %v exited %d: %s", extra, code, stderr.String())
+	}
+	return stdout.String()
+}
+
+// TestDumpSpecRoundTrip is the CLI half of the resolution contract: the
+// dumped spec is valid JSON that, fed back through -scenario, resolves
+// to byte-identical output — and explicitly set flags override the file.
+func TestDumpSpecRoundTrip(t *testing.T) {
+	defaults := dumpSpec(t)
+	for _, want := range []string{`"version": 1`, `"name": "lenet"`, `"scenario": "ST+AT"`, `"max_iters": 150`} {
+		if !strings.Contains(defaults, want) {
+			t.Fatalf("default dump must contain %s:\n%s", want, defaults)
+		}
+	}
+
+	// Feeding a dump back through -scenario must reproduce it exactly.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(path, []byte(defaults), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if back := dumpSpec(t, "-scenario", path); back != defaults {
+		t.Fatalf("-dump-spec | -scenario round trip drifted:\ngot:\n%s\nwant:\n%s", back, defaults)
+	}
+
+	// An explicitly set flag overrides the file. The full dump pins every
+	// field, so -fast flips only run.fast there; against a sparse file
+	// the flag also picks the fast defaults tier for unmentioned fields.
+	fast := dumpSpec(t, "-scenario", path, "-fast", "-seed", "9")
+	if !strings.Contains(fast, `"fast": true`) || !strings.Contains(fast, `"seed": 9`) {
+		t.Fatalf("explicit flags must override the scenario file:\n%s", fast)
+	}
+	if !strings.Contains(fast, `"max_iters": 150`) {
+		t.Fatalf("fields pinned by the file must survive -fast:\n%s", fast)
+	}
+	sparse := filepath.Join(dir, "sparse.json")
+	if err := os.WriteFile(sparse, []byte(`{"version": 1, "scenario": "T+T"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tiered := dumpSpec(t, "-scenario", sparse, "-fast")
+	if !strings.Contains(tiered, `"max_iters": 40`) || !strings.Contains(tiered, `"scenario": "T+T"`) {
+		t.Fatalf("-fast over a sparse file must select the fast defaults tier:\n%s", tiered)
+	}
+}
+
+// TestScenarioCLIErrors: spec-mode user errors are one-line diagnostics.
+func TestScenarioCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version": 1, "scenaro": "T+T"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string
+	}{
+		{"scenario with run", []string{"-scenario", bad, "-run", "table1"}, 2, "exclude"},
+		{"scenario with campaign", []string{"-scenario", bad, "-seeds", "3"}, 2, "exclude"},
+		{"dump-spec with bench", []string{"-dump-spec", "-bench"}, 2, "exclude"},
+		{"unknown field", []string{"-scenario", bad}, 1, "scenaro"},
+		{"missing file", []string{"-scenario", filepath.Join(dir, "absent.json")}, 1, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := run(context.Background(), tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("run(%v) = %d, want %d (stderr: %s)", tc.args, code, tc.wantCode, stderr.String())
+			}
+			if tc.wantErr != "" && !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Fatalf("stderr %q must contain %q", stderr.String(), tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestExampleScenariosResolve: every shipped example must resolve and
+// validate against the current schema (the CI scenarios job then runs
+// them end to end).
+func TestExampleScenariosResolve(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no example scenarios found")
+	}
+	for _, f := range files {
+		out := dumpSpec(t, "-scenario", f)
+		if !strings.Contains(out, `"version": 1`) {
+			t.Fatalf("%s: resolved dump looks wrong:\n%s", f, out)
+		}
+	}
+}

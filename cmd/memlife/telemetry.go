@@ -73,6 +73,7 @@ func (s *telemetrySession) finish(stderr io.Writer) int {
 	}
 	if s.metricsOut != "" && s.reg != nil {
 		snap := s.reg.Snapshot()
+		snap.Version = fmt.Sprintf("memlife %s", buildVersion())
 		if err := writeFileAtomic(s.metricsOut, snap.WriteJSON); err != nil {
 			fmt.Fprintf(stderr, "memlife: writing %s: %v\n", s.metricsOut, err)
 			code = 1

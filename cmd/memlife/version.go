@@ -1,0 +1,48 @@
+package main
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// buildVersion reports the module version and VCS revision baked into
+// the binary by the Go toolchain (-version output, and the header
+// stamped on -metrics-out snapshots). Builds outside a module or
+// without VCS metadata degrade gracefully to "(devel)".
+func buildVersion() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "(unknown)"
+	}
+	version := info.Main.Version
+	if version == "" {
+		version = "(devel)"
+	}
+	var rev string
+	var dirty bool
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		// Pseudo-versions already embed the revision; don't repeat it.
+		if !strings.Contains(version, rev) {
+			if dirty {
+				rev += "+dirty"
+			}
+			return fmt.Sprintf("%s %s", version, rev)
+		}
+		if dirty && !strings.Contains(version, "+dirty") {
+			version += "+dirty"
+		}
+	}
+	return version
+}

@@ -33,16 +33,16 @@ const BoltzmannEV = 8.617333262e-5
 // paper references; see DESIGN.md for the calibration rationale.
 type Model struct {
 	// A scales the upper-bound loss f(T,t) in Ohms per stress^M.
-	A float64
+	A float64 `json:"a"`
 	// B scales the lower-bound loss g(T,t) in Ohms per stress^M.
 	// B < A so the range shrinks as it slides down.
-	B float64
+	B float64 `json:"b"`
 	// Ea is the activation energy in eV.
-	Ea float64
+	Ea float64 `json:"ea"`
 	// M is the sub-linear stress exponent of the power law.
-	M float64
+	M float64 `json:"m"`
 	// TrefK is the reference temperature (K) at which acceleration is 1.
-	TrefK float64
+	TrefK float64 `json:"tref_k"`
 }
 
 // DefaultModel returns the calibration used throughout the experiments:

@@ -35,6 +35,14 @@ type Spec struct {
 	BaseSeed int64 `json:"base_seed"`
 	// Fast selects the experiments' reduced-budget mode.
 	Fast bool `json:"fast"`
+	// ConfigHash is the resolved scenario-spec fingerprint the
+	// campaign's experiments derive from (see internal/spec); cmd/memlife
+	// fills it from experiments.ConfigFingerprint. It participates in
+	// Fingerprint, so a checkpoint journal written under one resolved
+	// configuration can never be resumed under another — even when the
+	// experiment list, seeds and flags all match. Empty (e.g. in older
+	// journals) means "unpinned" and keeps the historical fingerprint.
+	ConfigHash string `json:"config_hash,omitempty"`
 }
 
 // Validate reports an error for degenerate specs.

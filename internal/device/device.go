@@ -21,23 +21,23 @@ import (
 type Params struct {
 	// RminFresh and RmaxFresh bound the programmable resistance range
 	// of a fresh device, in Ohms (RminFresh = LRS, RmaxFresh = HRS).
-	RminFresh float64
-	RmaxFresh float64
+	RminFresh float64 `json:"rmin_fresh"`
+	RmaxFresh float64 `json:"rmax_fresh"`
 	// Levels is the number of quantization levels, spread uniformly
 	// across the fresh resistance range.
-	Levels int
+	Levels int `json:"levels"`
 	// Vprog is the programming pulse amplitude in Volts.
-	Vprog float64
+	Vprog float64 `json:"vprog"`
 	// PulseWidth is the programming pulse duration in seconds.
-	PulseWidth float64
+	PulseWidth float64 `json:"pulse_width"`
 	// Vread is the read voltage used during inference, in Volts.
-	Vread float64
+	Vread float64 `json:"vread"`
 	// UniformStress, when set, makes every programming pulse cost one
 	// reference unit of stress regardless of the device's conductance.
 	// This is an ablation switch: it removes the physical coupling
 	// (stress ~ programming power) that lets skewed weights slow down
 	// aging, isolating that mechanism's contribution.
-	UniformStress bool
+	UniformStress bool `json:"uniform_stress"`
 	// StressDerate scales every pulse's stress contribution; counter-
 	// aging techniques that reduce the effective programming power
 	// (shaped pulses [9], series resistors [11]) express their benefit
@@ -51,7 +51,7 @@ type Params struct {
 	//
 	// Negative values are rejected by Validate; to disable derating,
 	// leave the field zero (or set it to exactly 1).
-	StressDerate float64
+	StressDerate float64 `json:"stress_derate"`
 }
 
 // stressDerate returns the effective derating factor.

@@ -8,7 +8,6 @@ import (
 	"memlife/internal/device"
 	"memlife/internal/lifetime"
 	"memlife/internal/mapping"
-	"memlife/internal/nn"
 )
 
 // AblationRow is one configuration of an ablation sweep.
@@ -17,20 +16,6 @@ type AblationRow struct {
 	Scenario string
 	Lifetime int64
 	Censored bool
-}
-
-// runLifetime executes one lifetime run for an ablation under the
-// bundle's network lock, leaving the network weights untouched.
-func runLifetime(opt Options, net *nn.Network, b *Bundle, sc lifetime.Scenario, p device.Params, cfg lifetime.Config) (lifetime.Result, error) {
-	var res lifetime.Result
-	err := b.Exclusive(func() error {
-		snap := net.SnapshotParams()
-		defer net.RestoreParams(snap)
-		var err error
-		res, err = lifetime.RunCtx(opt.Context(), net, b.TrainDS, sc, p, AgingModel(), TempK, cfg)
-		return err
-	})
-	return res, err
 }
 
 // AblationStressModel compares the power-proportional stress model (the
@@ -42,11 +27,10 @@ func AblationStressModel(opt Options) ([]AblationRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	target, err := scenarioTarget(b, opt)
+	target, err := specTarget(b, b.Spec)
 	if err != nil {
 		return nil, err
 	}
-	cfg := lifetimeConfig(opt, target)
 
 	var rows []AblationRow
 	for _, variant := range []struct {
@@ -56,18 +40,16 @@ func AblationStressModel(opt Options) ([]AblationRow, error) {
 		{"power-proportional stress", false},
 		{"uniform per-pulse stress", true},
 	} {
-		p := DeviceParams()
-		p.UniformStress = variant.uniform
-		for _, spec := range []struct {
-			sc  lifetime.Scenario
-			net *nn.Network
-		}{{lifetime.TT, b.Normal}, {lifetime.STT, b.Skewed}} {
-			res, err := runLifetime(opt, spec.net, b, spec.sc, p, cfg)
+		for _, sc := range []lifetime.Scenario{lifetime.TT, lifetime.STT} {
+			s := b.Spec
+			s.Scenario = sc.String()
+			s.Device.UniformStress = variant.uniform
+			res, err := runSpec(b, s, opt, target)
 			if err != nil {
 				return nil, err
 			}
 			rows = append(rows, AblationRow{
-				Variant: variant.name, Scenario: spec.sc.String(),
+				Variant: variant.name, Scenario: sc.String(),
 				Lifetime: res.Lifetime, Censored: !res.Failed,
 			})
 		}
@@ -85,16 +67,17 @@ func AblationTracingDensity(opt Options) ([]AblationRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	target, err := scenarioTarget(b, opt)
+	target, err := specTarget(b, b.Spec)
 	if err != nil {
 		return nil, err
 	}
 	var rows []AblationRow
 	for _, stride := range []int{1, 3, 5} {
-		cfg := lifetimeConfig(opt, target)
-		cfg.TraceStride = stride
-		cfg.BurnInStress = 3
-		res, err := runLifetime(opt, b.Skewed, b, lifetime.STAT, DeviceParams(), cfg)
+		s := b.Spec
+		s.Scenario = lifetime.STAT.String()
+		s.Lifetime.TraceStride = stride
+		s.Lifetime.BurnInStress = 3
+		res, err := runSpec(b, s, opt, target)
 		if err != nil {
 			return nil, err
 		}
@@ -114,11 +97,10 @@ func AblationLevels(opt Options) ([]AblationRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	target, err := scenarioTarget(b, opt)
+	target, err := specTarget(b, b.Spec)
 	if err != nil {
 		return nil, err
 	}
-	cfg := lifetimeConfig(opt, target)
 	var rows []AblationRow
 	for _, variant := range []struct {
 		name string
@@ -127,7 +109,10 @@ func AblationLevels(opt Options) ([]AblationRow, error) {
 		{"32 levels [14]", device.Params32()},
 		{"64 levels [15]", device.Params64()},
 	} {
-		res, err := runLifetime(opt, b.Skewed, b, lifetime.STAT, variant.p, cfg)
+		s := b.Spec
+		s.Scenario = lifetime.STAT.String()
+		s.Device = variant.p
+		res, err := runSpec(b, s, opt, target)
 		if err != nil {
 			return nil, err
 		}
@@ -149,17 +134,17 @@ func AblationRangePolicy(opt Options) ([]AblationRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	target, err := scenarioTarget(b, opt)
+	target, err := specTarget(b, b.Spec)
 	if err != nil {
 		return nil, err
 	}
 	var rows []AblationRow
 	for _, pol := range []mapping.PolicyKind{mapping.AgingAware, mapping.WorstCase, mapping.MeanBound, mapping.Fresh} {
-		cfg := lifetimeConfig(opt, target)
-		p := pol
-		cfg.PolicyOverride = &p
-		cfg.BurnInStress = 3
-		res, err := runLifetime(opt, b.Skewed, b, lifetime.STAT, DeviceParams(), cfg)
+		s := b.Spec
+		s.Scenario = lifetime.STAT.String()
+		s.Policy = pol.String()
+		s.Lifetime.BurnInStress = 3
+		res, err := runSpec(b, s, opt, target)
 		if err != nil {
 			return nil, err
 		}

@@ -184,7 +184,7 @@ func TestTable1BundleOrdering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	target, err := scenarioTarget(b, testOpt)
+	target, err := specTarget(b, b.Spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestTable1BundleOrdering(t *testing.T) {
 	cfg.TargetAcc = target
 	cfg.AppsPerCycle = 1000
 	cfg.MaxCycles = 25
-	cfg.TuneCap = 25
+	cfg.Tuning.MaxIters = 25
 	cfg.EvalN = 48
 	row, err := Table1BundleWithConfig(b, testOpt, cfg)
 	if err != nil {

@@ -7,7 +7,6 @@ import (
 	"memlife/internal/analysis"
 	"memlife/internal/fault"
 	"memlife/internal/lifetime"
-	"memlife/internal/nn"
 )
 
 // faultSweepRates are the stuck-device rates the sweep evaluates.
@@ -73,50 +72,44 @@ func FaultSweep(opt Options) ([]FaultSweepPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	target, err := scenarioTarget(b, opt)
-	if err != nil {
-		return nil, err
-	}
 	// The clean-array target of Table I sits a hair under the fresh
 	// hardware accuracy; on a defective array that tightness turns every
 	// small fault deficit into a tuning/remap death spiral. The sweep
 	// therefore serves at a relaxed service-level target (90% of the
-	// clean target), leaving the tolerance mechanisms an operating band
-	// in which defect density — not target tightness — sets the
-	// lifetime.
-	target *= 0.9
+	// clean target, expressed as the spec's run.target_scale), leaving
+	// the tolerance mechanisms an operating band in which defect density
+	// — not target tightness — sets the lifetime.
+	base := b.Spec
+	base.Run.TargetScale = 0.9
+	target, err := specTarget(b, base)
+	if err != nil {
+		return nil, err
+	}
 
 	type arm struct {
 		rate  float64
 		sc    lifetime.Scenario
-		net   *nn.Network
 		aware bool
 	}
 	var arms []arm
 	for _, rate := range faultSweepRates {
 		arms = append(arms,
-			arm{rate, lifetime.TT, b.Normal, true},
-			arm{rate, lifetime.STT, b.Skewed, true},
-			arm{rate, lifetime.STAT, b.Skewed, true},
+			arm{rate, lifetime.TT, true},
+			arm{rate, lifetime.STT, true},
+			arm{rate, lifetime.STAT, true},
 		)
 	}
 	ablRate := faultSweepRates[len(faultSweepRates)-1]
-	arms = append(arms, arm{ablRate, lifetime.STAT, b.Skewed, false})
+	arms = append(arms, arm{ablRate, lifetime.STAT, false})
 
 	var points []FaultSweepPoint
 	for _, a := range arms {
-		cfg := lifetimeConfig(opt, target)
-		cfg.Faults = FaultSweepFaults(a.rate, opt.Seed)
-		cfg.FaultAwareRemap = a.aware
-		cfg.DegradedAccFrac = 0.5
-		var res lifetime.Result
-		err := b.Exclusive(func() error {
-			snap := a.net.SnapshotParams()
-			defer a.net.RestoreParams(snap)
-			var err error
-			res, err = lifetime.RunCtx(opt.Context(), a.net, b.TrainDS, a.sc, DeviceParams(), AgingModel(), TempK, cfg)
-			return err
-		})
+		s := base
+		s.Scenario = a.sc.String()
+		s.Lifetime.Faults = FaultSweepFaults(a.rate, s.Run.Seed)
+		s.Lifetime.Mapping.FaultAware = a.aware
+		s.Lifetime.DegradedAccFrac = 0.5
+		res, err := runSpec(b, s, opt, target)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fault-sweep rate=%g %s: %w", a.rate, a.sc, err)
 		}

@@ -56,7 +56,7 @@ func TestFaultSweepLifetimeDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	target, err := scenarioTarget(b, testOpt)
+	target, err := specTarget(b, b.Spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,10 +79,10 @@ func TestFaultSweepLifetimeDeterministic(t *testing.T) {
 				if tc.sc != lifetime.TT {
 					net = b.Skewed
 				}
-				cfg := lifetimeConfig(testOpt, target)
+				cfg := b.Spec.LifetimeConfig(target)
 				cfg.MaxCycles = 5
 				cfg.Faults = FaultSweepFaults(tc.rate, testOpt.Seed)
-				cfg.FaultAwareRemap = tc.aware
+				cfg.Mapping.FaultAware = tc.aware
 				cfg.DegradedAccFrac = 0.5
 				snap := net.SnapshotParams()
 				res, err := lifetime.Run(net, b.TrainDS, tc.sc, DeviceParams(), AgingModel(), TempK, cfg)

@@ -9,18 +9,23 @@ import (
 	"memlife/internal/device"
 	"memlife/internal/lifetime"
 	"memlife/internal/nn"
+	"memlife/internal/spec"
 	"memlife/internal/tensor"
 	"memlife/internal/train"
 )
 
-// bundleCache memoizes trained bundles per (kind, fast, seed) with
+// bundleCache memoizes trained bundles per fixture fingerprint with
 // per-key singleflight: the map mutex is held only for entry lookup,
 // and each entry trains under its own sync.Once — so concurrent shards
 // needing *different* fixtures train in parallel, while shards racing
 // for the *same* fixture train it exactly once and share the result.
-// Consumers that mutate the cached networks (the lifetime simulations
-// overwrite live weights) do so under Bundle.Exclusive, snapshotting
-// and restoring around their use, as all drivers do.
+// The key is spec.FixtureFingerprint — a canonical hash of everything
+// that shapes training (fixture name, skew constants, fast flag, seed)
+// — so two configurations that differ in any fixture parameter can
+// never share a cached bundle. Consumers that mutate the cached
+// networks (the lifetime simulations overwrite live weights) do so
+// under Bundle.Exclusive, snapshotting and restoring around their use,
+// as all drivers do.
 var bundleCache = struct {
 	sync.Mutex
 	m map[string]*bundleEntry
@@ -32,8 +37,11 @@ type bundleEntry struct {
 	err  error
 }
 
-func cachedBundle(kind string, opt Options, build func(Options) (*Bundle, error)) (*Bundle, error) {
-	key := fmt.Sprintf("%s|fast=%v|seed=%d", kind, opt.Fast, opt.Seed)
+func cachedBundle(s spec.Spec, opt Options, build func(spec.Spec, Options) (*Bundle, error)) (*Bundle, error) {
+	key, err := s.FixtureFingerprint()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
 	bundleCache.Lock()
 	e, ok := bundleCache.m[key]
 	if !ok {
@@ -46,7 +54,7 @@ func cachedBundle(kind string, opt Options, build func(Options) (*Bundle, error)
 			e.err = err
 			return
 		}
-		e.b, e.err = build(opt)
+		e.b, e.err = build(s, opt)
 	})
 	if e.err != nil {
 		// Failed builds (including cancelled ones) are not cached: drop
@@ -60,27 +68,16 @@ func cachedBundle(kind string, opt Options, build func(Options) (*Bundle, error)
 	return e.b, e.err
 }
 
-// SkewParams are the skewed-training constants of Table II: the
-// reference weight beta_i = BetaFactor * sigma_i of each layer, and the
-// two segment penalties.
-type SkewParams struct {
-	BetaFactor float64
-	Lambda1    float64
-	Lambda2    float64
-}
+// SkewParams are the skewed-training constants of Table II; the type
+// lives in internal/spec (the "fixture.skew" section of a scenario
+// spec) and is aliased here for the drivers.
+type SkewParams = spec.SkewParams
 
-// LeNetSkewParams returns the LeNet-5 setting: lambda1 >> lambda2, as in
-// the paper's Table II. The reference weight sits at the left edge of
-// the conventional distribution (beta_i = -0.5 * sigma_i): the strong
-// lambda1 penalty forms a wall below beta while the weak lambda2 drags
-// the mass down towards it, producing the left-concentrated skewed
-// distribution of Fig. 6(a) whose weights map to small conductances.
-func LeNetSkewParams() SkewParams { return SkewParams{BetaFactor: -0.5, Lambda1: 0.5, Lambda2: 0.005} }
+// LeNetSkewParams returns the LeNet-5 setting of Table II.
+func LeNetSkewParams() SkewParams { return spec.LeNetSkew() }
 
-// VGGSkewParams returns the VGG-16 setting: the paper sets lambda1 ==
-// lambda2 for VGG-16 because its depth makes accuracy more sensitive to
-// the asymmetric penalty.
-func VGGSkewParams() SkewParams { return SkewParams{BetaFactor: -0.5, Lambda1: 0.01, Lambda2: 0.01} }
+// VGGSkewParams returns the VGG-16 setting of Table II.
+func VGGSkewParams() SkewParams { return spec.VGGSkew() }
 
 // Bundle holds one network/dataset test case of Table I, trained both
 // conventionally (L2) and with the skewed regularizer.
@@ -94,6 +91,10 @@ type Bundle struct {
 	Skewed      *nn.Network
 	SkewedAcc   float64
 	Skew        SkewParams
+	// Spec is the resolved scenario spec the bundle was built from;
+	// drivers derive their lifetime runs from it (base spec + a small
+	// transform per experiment arm).
+	Spec spec.Spec
 
 	// mu serializes access to the live networks. Bundles are shared by
 	// every experiment of a (fast, seed) configuration, and both the
@@ -115,37 +116,53 @@ func (b *Bundle) Exclusive(f func() error) error {
 	return f()
 }
 
-// DeviceParams returns the memristor technology used by all experiments.
-func DeviceParams() device.Params { return device.Params32() }
-
-// AgingModel returns the aging calibration used by all experiments. It
-// accelerates the default device-physics calibration so crossbars fail
-// within tens of simulated deployment cycles instead of thousands —
-// the same timeline compression the paper applies when it simulates
-// 4x10^7 applications against a 150-iteration tuning budget. Relative
-// lifetimes between scenarios, the quantity Table I reports, are
-// unaffected by the common scale factor.
-func AgingModel() aging.Model {
-	m := aging.DefaultModel()
-	m.A = 8000
-	m.B = 1000
-	return m
+// BaseSpec returns the resolved spec a named experiment starts from:
+// the package defaults for the fixture at the options' scale, with the
+// run seed and evaluation workers injected. Every registered
+// experiment is this base plus a small transform.
+func BaseSpec(fixture string, opt Options) spec.Spec {
+	s := spec.Defaults(fixture, opt.Fast)
+	s.Run.Seed = opt.Seed
+	s.Run.Workers = opt.Workers
+	return s
 }
 
-// TempK is the operating temperature of all experiments.
+// DeviceParams returns the memristor technology used by all experiments.
+func DeviceParams() device.Params { return spec.Defaults(spec.FixtureLeNet, false).Device }
+
+// AgingModel returns the aging calibration used by all experiments (see
+// spec.Defaults for the acceleration rationale).
+func AgingModel() aging.Model { return spec.Defaults(spec.FixtureLeNet, false).Aging }
+
+// TempK is the operating temperature of all experiments; it matches the
+// temp_k default of spec.Defaults.
 const TempK = 300.0
+
+// BundleForSpec builds (or returns the cached) trained bundle for the
+// spec's fixture section.
+func BundleForSpec(s spec.Spec, opt Options) (*Bundle, error) {
+	switch s.Fixture.Name {
+	case spec.FixtureLeNet:
+		return cachedBundle(s, opt, buildLeNetBundle)
+	case spec.FixtureVGG:
+		return cachedBundle(s, opt, buildVGGBundle)
+	default:
+		return nil, fmt.Errorf("experiments: unknown fixture %q", s.Fixture.Name)
+	}
+}
 
 // LeNetBundle builds (or returns the cached) LeNet-5 / SynthCIFAR10
 // test case.
 func LeNetBundle(opt Options) (*Bundle, error) {
-	return cachedBundle("lenet", opt, buildLeNetBundle)
+	return BundleForSpec(BaseSpec(spec.FixtureLeNet, opt), opt)
 }
 
-func buildLeNetBundle(opt Options) (*Bundle, error) {
-	dsCfg := dataset.SynthConfig{Classes: 10, TrainN: 800, TestN: 200, C: 3, H: 16, W: 16, Noise: 0.5, Seed: opt.Seed}
+func buildLeNetBundle(s spec.Spec, opt Options) (*Bundle, error) {
+	seed := s.Run.Seed
+	dsCfg := dataset.SynthConfig{Classes: 10, TrainN: 800, TestN: 200, C: 3, H: 16, W: 16, Noise: 0.5, Seed: seed}
 	netCfg := nn.LeNetConfig{InC: 3, H: 16, W: 16, Classes: 10}
-	trainCfg := train.Config{Epochs: 10, BatchSize: 32, LR: 0.02, Momentum: 0.9, LRDecay: 0.95, Seed: opt.Seed, Log: opt.Log}
-	if opt.Fast {
+	trainCfg := train.Config{Epochs: 10, BatchSize: 32, LR: 0.02, Momentum: 0.9, LRDecay: 0.95, Seed: seed, Log: opt.Log}
+	if s.Run.Fast {
 		dsCfg.TrainN, dsCfg.TestN = 240, 80
 		dsCfg.H, dsCfg.W = 12, 12
 		netCfg.H, netCfg.W = 12, 12
@@ -156,7 +173,7 @@ func buildLeNetBundle(opt Options) (*Bundle, error) {
 		return nil, err
 	}
 	build := func(rngSeed int64) (*nn.Network, error) { return nn.NewLeNet5(netCfg, tensor.NewRNG(rngSeed)) }
-	return makeBundle("LeNet-5", "SynthCIFAR10", trainDS, testDS, build, LeNetSkewParams(), trainCfg, opt)
+	return makeBundle("LeNet-5", "SynthCIFAR10", trainDS, testDS, build, trainCfg, s, opt)
 }
 
 // VGGBundle builds (or returns the cached) VGG-16 / SynthCIFAR100 test
@@ -164,14 +181,15 @@ func buildLeNetBundle(opt Options) (*Bundle, error) {
 // CPU training stays in the minutes range; fast mode shrinks further
 // (see DESIGN.md).
 func VGGBundle(opt Options) (*Bundle, error) {
-	return cachedBundle("vgg", opt, buildVGGBundle)
+	return BundleForSpec(BaseSpec(spec.FixtureVGG, opt), opt)
 }
 
-func buildVGGBundle(opt Options) (*Bundle, error) {
-	dsCfg := dataset.SynthConfig{Classes: 50, TrainN: 1500, TestN: 300, C: 3, H: 32, W: 32, Noise: 0.35, Seed: opt.Seed + 100}
+func buildVGGBundle(s spec.Spec, opt Options) (*Bundle, error) {
+	seed := s.Run.Seed
+	dsCfg := dataset.SynthConfig{Classes: 50, TrainN: 1500, TestN: 300, C: 3, H: 32, W: 32, Noise: 0.35, Seed: seed + 100}
 	netCfg := nn.VGGConfig{InC: 3, H: 32, W: 32, Classes: 50, WidthMult: 0.125, FCWidth: 64}
-	trainCfg := train.Config{Epochs: 8, BatchSize: 32, LR: 0.02, Momentum: 0.9, LRDecay: 0.95, GradClip: 1.0, Seed: opt.Seed, Log: opt.Log}
-	if opt.Fast {
+	trainCfg := train.Config{Epochs: 8, BatchSize: 32, LR: 0.02, Momentum: 0.9, LRDecay: 0.95, GradClip: 1.0, Seed: seed, Log: opt.Log}
+	if s.Run.Fast {
 		dsCfg.Classes, dsCfg.TrainN, dsCfg.TestN = 10, 400, 80
 		dsCfg.Noise = 0.3
 		netCfg.Classes = 10
@@ -186,16 +204,17 @@ func buildVGGBundle(opt Options) (*Bundle, error) {
 	if netCfg.WidthMult != 1 {
 		name = fmt.Sprintf("VGG-16(x%g)", netCfg.WidthMult)
 	}
-	return makeBundle(name, "SynthCIFAR100", trainDS, testDS, build, VGGSkewParams(), trainCfg, opt)
+	return makeBundle(name, "SynthCIFAR100", trainDS, testDS, build, trainCfg, s, opt)
 }
 
 // makeBundle trains the network twice from the same initialization:
 // once with L2 (the "traditional" weights) and once with the skewed
 // regularizer seeded from the L2 run's per-layer sigmas (Table II).
 func makeBundle(name, dsName string, trainDS, testDS *dataset.Dataset,
-	build func(int64) (*nn.Network, error), skew SkewParams, cfg train.Config, opt Options) (*Bundle, error) {
+	build func(int64) (*nn.Network, error), cfg train.Config, s spec.Spec, opt Options) (*Bundle, error) {
 
-	normal, err := build(opt.Seed + 7)
+	skew := s.Fixture.Skew
+	normal, err := build(s.Run.Seed + 7)
 	if err != nil {
 		return nil, err
 	}
@@ -214,7 +233,7 @@ func makeBundle(name, dsName string, trainDS, testDS *dataset.Dataset,
 	if err != nil {
 		return nil, err
 	}
-	skewed, err := build(opt.Seed + 7) // identical initialization
+	skewed, err := build(s.Run.Seed + 7) // identical initialization
 	if err != nil {
 		return nil, err
 	}
@@ -236,53 +255,69 @@ func makeBundle(name, dsName string, trainDS, testDS *dataset.Dataset,
 		Skewed:      skewed,
 		SkewedAcc:   skewedRes.FinalTestAcc,
 		Skew:        skew,
+		Spec:        s,
 	}, nil
 }
 
-// lifetimeConfig returns the lifetime-simulation budget for experiments.
-func lifetimeConfig(opt Options, target float64) lifetime.Config {
-	cfg := lifetime.DefaultConfig()
-	cfg.TargetAcc = target
-	cfg.Seed = opt.Seed
-	cfg.Workers = opt.Workers
-	cfg.AppsPerCycle = 1_000_000
-	cfg.MaxCycles = 150
-	if opt.Fast {
-		cfg.MaxCycles = 60
-		cfg.TuneCap = 40
-		cfg.EvalN = 64
+// runSpec executes the lifetime simulation one resolved spec describes,
+// using the bundle's trained networks: the scenario picks the weights
+// (T+T serves the conventionally trained network, ST+* the skewed one)
+// and the spec supplies device, aging, temperature and the full
+// lifetime budget. It runs under the bundle's network lock, leaving the
+// weights untouched.
+func runSpec(b *Bundle, s spec.Spec, opt Options, target float64) (lifetime.Result, error) {
+	sc, err := s.ScenarioKind()
+	if err != nil {
+		return lifetime.Result{}, fmt.Errorf("experiments: %w", err)
 	}
-	return cfg
+	net := b.Normal
+	if sc != lifetime.TT {
+		net = b.Skewed
+	}
+	cfg := s.LifetimeConfig(target)
+	var res lifetime.Result
+	err = b.Exclusive(func() error {
+		snap := net.SnapshotParams()
+		defer net.RestoreParams(snap)
+		var err error
+		res, err = lifetime.RunCtx(opt.Context(), net, b.TrainDS, sc, s.Device, s.Aging, s.TempK, cfg)
+		return err
+	})
+	return res, err
 }
 
 // ScenarioTarget picks one target accuracy per bundle, achievable by
 // both the normal and the skewed variant right after a fresh mapping
 // (minus a small margin), mirroring the paper's per-network target.
-func ScenarioTarget(b *Bundle, opt Options) (float64, error) { return scenarioTarget(b, opt) }
+func ScenarioTarget(b *Bundle, opt Options) (float64, error) { return specTarget(b, b.Spec) }
 
-func scenarioTarget(b *Bundle, opt Options) (float64, error) {
-	const margin = 0.02
-	evalN := 96
-	if opt.Fast {
-		evalN = 64
+// specTarget resolves the spec's effective tuning target: an explicit
+// lifetime.target_acc wins; otherwise the target is auto-derived as
+// min(fresh-mapped accuracy of both trained variants) - target_margin,
+// scaled by target_scale.
+func specTarget(b *Bundle, s spec.Spec) (float64, error) {
+	if s.Lifetime.TargetAcc > 0 {
+		return s.Lifetime.TargetAcc, nil
 	}
+	margin := s.Run.TargetMargin
+	evalN := s.Lifetime.EvalN
 	var tn, ts float64
 	err := b.Exclusive(func() error {
 		// SuggestTarget maps the network (overwriting live weights
 		// before restoring its snapshot), so it needs the lock.
 		var err error
-		tn, err = lifetime.SuggestTarget(b.Normal, b.TrainDS, DeviceParams(), AgingModel(), TempK, evalN, margin)
+		tn, err = lifetime.SuggestTarget(b.Normal, b.TrainDS, s.Device, s.Aging, s.TempK, evalN, margin)
 		if err != nil {
 			return err
 		}
-		ts, err = lifetime.SuggestTarget(b.Skewed, b.TrainDS, DeviceParams(), AgingModel(), TempK, evalN, margin)
+		ts, err = lifetime.SuggestTarget(b.Skewed, b.TrainDS, s.Device, s.Aging, s.TempK, evalN, margin)
 		return err
 	})
 	if err != nil {
 		return 0, err
 	}
 	if ts < tn {
-		return ts, nil
+		tn = ts
 	}
-	return tn, nil
+	return tn * s.Run.TargetScale, nil
 }

@@ -6,7 +6,6 @@ import (
 
 	"memlife/internal/analysis"
 	"memlife/internal/lifetime"
-	"memlife/internal/nn"
 )
 
 // Fig10Result holds the tuning-iteration trends of Fig. 10 for one
@@ -23,21 +22,15 @@ type Fig10Result struct {
 // fig10For runs the two scenarios whose divergence Fig. 10 shows.
 func fig10For(b *Bundle, opt Options) (Fig10Result, error) {
 	out := Fig10Result{Network: b.Name}
-	target, err := scenarioTarget(b, opt)
+	target, err := specTarget(b, b.Spec)
 	if err != nil {
 		return out, err
 	}
-	cfg := lifetimeConfig(opt, target)
 
-	run := func(net *nn.Network, sc lifetime.Scenario, series *analysis.Series) (int64, error) {
-		var res lifetime.Result
-		err := b.Exclusive(func() error {
-			snap := net.SnapshotParams()
-			defer net.RestoreParams(snap)
-			var err error
-			res, err = lifetime.RunCtx(opt.Context(), net, b.TrainDS, sc, DeviceParams(), AgingModel(), TempK, cfg)
-			return err
-		})
+	run := func(sc lifetime.Scenario, series *analysis.Series) (int64, error) {
+		s := b.Spec
+		s.Scenario = sc.String()
+		res, err := runSpec(b, s, opt, target)
 		if err != nil {
 			return 0, err
 		}
@@ -48,10 +41,10 @@ func fig10For(b *Bundle, opt Options) (Fig10Result, error) {
 	}
 	out.TT.Name = "T+T"
 	out.STAT.Name = "ST+AT"
-	if out.LifeTT, err = run(b.Normal, lifetime.TT, &out.TT); err != nil {
+	if out.LifeTT, err = run(lifetime.TT, &out.TT); err != nil {
 		return out, err
 	}
-	if out.LifeSTAT, err = run(b.Skewed, lifetime.STAT, &out.STAT); err != nil {
+	if out.LifeSTAT, err = run(lifetime.STAT, &out.STAT); err != nil {
 		return out, err
 	}
 	return out, nil
@@ -93,19 +86,13 @@ func Fig11(opt Options) (Fig11Result, error) {
 		return Fig11Result{}, err
 	}
 	out := Fig11Result{Network: b.Name}
-	target, err := scenarioTarget(b, opt)
+	target, err := specTarget(b, b.Spec)
 	if err != nil {
 		return out, err
 	}
-	cfg := lifetimeConfig(opt, target)
-	var res lifetime.Result
-	err = b.Exclusive(func() error {
-		snap := b.Normal.SnapshotParams()
-		defer b.Normal.RestoreParams(snap)
-		var err error
-		res, err = lifetime.RunCtx(opt.Context(), b.Normal, b.TrainDS, lifetime.TT, DeviceParams(), AgingModel(), TempK, cfg)
-		return err
-	})
+	s := b.Spec
+	s.Scenario = lifetime.TT.String()
+	res, err := runSpec(b, s, opt, target)
 	if err != nil {
 		return out, err
 	}

@@ -34,13 +34,12 @@ func RelatedWork(opt Options) ([]RelatedWorkRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	target, err := scenarioTarget(b, opt)
+	target, err := specTarget(b, b.Spec)
 	if err != nil {
 		return nil, err
 	}
-	cfg := lifetimeConfig(opt, target)
 
-	base := DeviceParams()
+	base := b.Spec.Device
 	// Series resistor: the derating depends on the instantaneous device
 	// resistance; a representative static factor is taken at the
 	// geometric-mean resistance of the range.
@@ -65,11 +64,10 @@ func RelatedWork(opt Options) ([]RelatedWorkRow, error) {
 
 	var rows []RelatedWorkRow
 	for _, r := range runs {
-		net := b.Normal
-		if r.sc != lifetime.TT {
-			net = b.Skewed
-		}
-		res, err := runLifetime(opt, net, b, r.sc, r.p, cfg)
+		s := b.Spec
+		s.Scenario = r.sc.String()
+		s.Device = r.p
+		res, err := runSpec(b, s, opt, target)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strings"
+
+	"memlife/internal/spec"
+)
+
+// ConfigFingerprint hashes the resolved base specs every registered
+// experiment derives from at the given scale (both fixtures, default
+// seed). Campaigns pin it into their checkpoint fingerprint so a
+// journal can only be resumed under the configuration that wrote it —
+// if any default a spec serializes changes, the fingerprint changes and
+// stale checkpoints fail loudly.
+func ConfigFingerprint(fast bool) (string, error) {
+	var parts []string
+	for _, fixture := range []string{spec.FixtureLeNet, spec.FixtureVGG} {
+		fp, err := spec.Defaults(fixture, fast).Fingerprint()
+		if err != nil {
+			return "", fmt.Errorf("experiments: config fingerprint: %w", err)
+		}
+		parts = append(parts, fp)
+	}
+	sum := sha256.Sum256([]byte(strings.Join(parts, "|")))
+	return hex.EncodeToString(sum[:8]), nil
+}
+
+// RunScenario executes one resolved scenario spec end to end: build (or
+// fetch) the trained bundle its fixture section describes, derive the
+// effective tuning target, run the lifetime simulation, and write a
+// plain-text summary. This is the CLI's -scenario path; the options
+// carry only run plumbing (context, log) — fast mode, seed and workers
+// come from the spec itself.
+func RunScenario(w io.Writer, s spec.Spec, opt Options) error {
+	opt.Fast = s.Run.Fast
+	opt.Seed = s.Run.Seed
+	opt.Workers = s.Run.Workers
+
+	fp, err := s.Fingerprint()
+	if err != nil {
+		return err
+	}
+	b, err := BundleForSpec(s, opt)
+	if err != nil {
+		return err
+	}
+	target, err := specTarget(b, s)
+	if err != nil {
+		return err
+	}
+	res, err := runSpec(b, s, opt, target)
+	if err != nil {
+		return err
+	}
+
+	name := s.Name
+	if name == "" {
+		name = "(unnamed scenario)"
+	}
+	fmt.Fprintf(w, "scenario: %s\n", name)
+	fmt.Fprintf(w, "fingerprint: %s\n", fp)
+	fmt.Fprintf(w, "fixture: %s (%s / %s)  scenario: %s", s.Fixture.Name, b.Name, b.DatasetName, s.Scenario)
+	if s.Policy != "" {
+		fmt.Fprintf(w, "  policy: %s", s.Policy)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "software accuracy: normal=%.3f skewed=%.3f  target=%.3f\n", b.NormalAcc, b.SkewedAcc, target)
+	fmt.Fprintf(w, "lifetime: %d applications over %d cycles", res.Lifetime, len(res.Records))
+	if res.Failed {
+		fmt.Fprint(w, " (failed)")
+	} else {
+		fmt.Fprint(w, " (censored: simulation budget reached)")
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "final accuracy: %.3f\n", res.FinalAcc)
+	if res.DegradedAtCycle > 0 {
+		fmt.Fprintf(w, "degraded service from cycle %d\n", res.DegradedAtCycle)
+	}
+	return nil
+}

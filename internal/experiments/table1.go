@@ -26,13 +26,14 @@ type Table1Row struct {
 }
 
 // Table1Bundle runs the three scenarios of Table I for one bundle with
-// the standard experiment budget.
+// the standard experiment budget: the bundle's base spec, transformed
+// only in its scenario field per run.
 func Table1Bundle(b *Bundle, opt Options) (Table1Row, error) {
-	target, err := scenarioTarget(b, opt)
+	target, err := specTarget(b, b.Spec)
 	if err != nil {
 		return Table1Row{}, err
 	}
-	return Table1BundleWithConfig(b, opt, lifetimeConfig(opt, target))
+	return Table1BundleWithConfig(b, opt, b.Spec.LifetimeConfig(target))
 }
 
 // Table1BundleWithConfig runs the three scenarios of Table I for one
@@ -44,32 +45,32 @@ func Table1BundleWithConfig(b *Bundle, opt Options, cfg lifetime.Config) (Table1
 		AccNormal: b.NormalAcc, AccSkewed: b.SkewedAcc,
 	}
 
-	type runSpec struct {
+	type scenarioRun struct {
 		sc  lifetime.Scenario
 		net *nn.Network
 	}
-	specs := []runSpec{
+	runs := []scenarioRun{
 		{lifetime.TT, b.Normal},
 		{lifetime.STT, b.Skewed},
 		{lifetime.STAT, b.Skewed},
 	}
-	for _, spec := range specs {
+	for _, r := range runs {
 		var res lifetime.Result
 		err := b.Exclusive(func() error {
-			snap := spec.net.SnapshotParams()
-			defer spec.net.RestoreParams(snap)
+			snap := r.net.SnapshotParams()
+			defer r.net.RestoreParams(snap)
 			var err error
-			res, err = lifetime.RunCtx(opt.Context(), spec.net, b.TrainDS, spec.sc, DeviceParams(), AgingModel(), TempK, cfg)
+			res, err = lifetime.RunCtx(opt.Context(), r.net, b.TrainDS, r.sc, b.Spec.Device, b.Spec.Aging, b.Spec.TempK, cfg)
 			return err
 		})
 		if err != nil {
-			return row, fmt.Errorf("experiments: table1 %s %s: %w", b.Name, spec.sc, err)
+			return row, fmt.Errorf("experiments: table1 %s %s: %w", b.Name, r.sc, err)
 		}
 		if opt.Log != nil {
 			fmt.Fprintf(opt.Log, "table1: %s %s lifetime=%d apps failed=%v cycles=%d\n",
-				b.Name, spec.sc, res.Lifetime, res.Failed, len(res.Records))
+				b.Name, r.sc, res.Lifetime, res.Failed, len(res.Records))
 		}
-		switch spec.sc {
+		switch r.sc {
 		case lifetime.TT:
 			row.LifeTT, row.CensoredTT = res.Lifetime, !res.Failed
 		case lifetime.STT:

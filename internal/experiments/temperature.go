@@ -6,7 +6,6 @@ import (
 
 	"memlife/internal/analysis"
 	"memlife/internal/lifetime"
-	"memlife/internal/nn"
 )
 
 // TemperatureRow is one operating point of the temperature sweep.
@@ -29,32 +28,26 @@ func TemperatureSweep(opt Options) ([]TemperatureRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	target, err := scenarioTarget(b, opt)
+	// The target is derived once at the base operating point (300 K) so
+	// all temperatures serve the same accuracy contract.
+	target, err := specTarget(b, b.Spec)
 	if err != nil {
 		return nil, err
 	}
-	m := AgingModel()
+	m := b.Spec.Aging
 	temps := []float64{294, 300, 306}
 	var rows []TemperatureRow
 	for _, tK := range temps {
-		for _, spec := range []struct {
-			sc  lifetime.Scenario
-			net *nn.Network
-		}{{lifetime.TT, b.Normal}, {lifetime.STT, b.Skewed}} {
-			cfg := lifetimeConfig(opt, target)
-			var res lifetime.Result
-			err := b.Exclusive(func() error {
-				snap := spec.net.SnapshotParams()
-				defer spec.net.RestoreParams(snap)
-				var err error
-				res, err = lifetime.RunCtx(opt.Context(), spec.net, b.TrainDS, spec.sc, DeviceParams(), m, tK, cfg)
-				return err
-			})
+		for _, sc := range []lifetime.Scenario{lifetime.TT, lifetime.STT} {
+			s := b.Spec
+			s.Scenario = sc.String()
+			s.TempK = tK
+			res, err := runSpec(b, s, opt, target)
 			if err != nil {
 				return nil, err
 			}
 			rows = append(rows, TemperatureRow{
-				TempK: tK, Accel: m.Accel(tK), Scenario: spec.sc.String(),
+				TempK: tK, Accel: m.Accel(tK), Scenario: sc.String(),
 				Lifetime: res.Lifetime, Censored: !res.Failed,
 			})
 		}

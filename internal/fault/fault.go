@@ -41,37 +41,58 @@ import (
 
 // Config parameterizes fault injection for one array (or, via
 // per-layer derived seeds, a whole mapped network). The zero value
-// disables every mechanism.
+// disables every mechanism. The JSON tags are the schema of the
+// "faults" section of a scenario spec (internal/spec); Seed is
+// excluded because the run seed is injected at resolution time.
 type Config struct {
 	// StuckRate is the fraction of devices permanently stuck at
 	// deployment (manufacturing defects), in [0, 1). Stuck sets are
 	// nested across rates for a fixed seed: every device stuck at rate
 	// r is also stuck at any rate r' > r, which keeps fault sweeps
 	// monotone in the rate.
-	StuckRate float64
+	StuckRate float64 `json:"stuck_rate"`
 	// LRSFrac is the fraction of stuck devices pinned at LRS (the
 	// high-current, high-damage polarity); the rest pin at HRS.
 	// Zero means 0.5.
-	LRSFrac float64
+	LRSFrac float64 `json:"lrs_frac"`
 	// TransientProb is the per-pulse probability that a programming
 	// pulse silently fails to move the device.
-	TransientProb float64
+	TransientProb float64 `json:"transient_prob"`
 	// HazardScale is the mean stress capacity of a device: once its
 	// accumulated programming stress exceeds its drawn capacity, the
 	// device becomes permanently stuck (aging-correlated wear-out).
 	// Zero disables wear-out faults.
-	HazardScale float64
+	HazardScale float64 `json:"hazard_scale"`
 	// HazardSpread is the lognormal sigma of the per-device capacity
 	// draw. Zero means 0.5.
-	HazardSpread float64
+	HazardSpread float64 `json:"hazard_spread"`
 	// ReadBurstProb is the per-readback probability of a read-noise
 	// burst.
-	ReadBurstProb float64
+	ReadBurstProb float64 `json:"read_burst_prob"`
 	// ReadBurstSigma is the relative resistance noise applied during a
 	// burst (0.02 = 2% of R). Zero means 0.02.
-	ReadBurstSigma float64
+	ReadBurstSigma float64 `json:"read_burst_sigma"`
 	// Seed makes the injection deterministic.
-	Seed int64
+	Seed int64 `json:"-"`
+}
+
+// Normalized returns the config with its "zero means X" fields
+// resolved: LRSFrac 0 -> 0.5, HazardSpread 0 -> 0.5, ReadBurstSigma 0
+// -> 0.02. NewInjector applies it on entry; scenario specs serialize
+// the resolved form (internal/spec.Defaults). Note the resolved form
+// is not the zero value, so Enabled() must be consulted before
+// Normalized() if "all mechanisms off" matters.
+func (c Config) Normalized() Config {
+	if c.LRSFrac == 0 {
+		c.LRSFrac = 0.5
+	}
+	if c.HazardSpread == 0 {
+		c.HazardSpread = 0.5
+	}
+	if c.ReadBurstSigma == 0 {
+		c.ReadBurstSigma = 0.02
+	}
+	return c
 }
 
 // Enabled reports whether any fault mechanism is active.
@@ -98,27 +119,6 @@ func (c Config) Validate() error {
 		return fmt.Errorf("fault: ReadBurstSigma must be non-negative, got %g", c.ReadBurstSigma)
 	}
 	return nil
-}
-
-func (c Config) lrsFrac() float64 {
-	if c.LRSFrac == 0 {
-		return 0.5
-	}
-	return c.LRSFrac
-}
-
-func (c Config) hazardSpread() float64 {
-	if c.HazardSpread == 0 {
-		return 0.5
-	}
-	return c.HazardSpread
-}
-
-func (c Config) readBurstSigma() float64 {
-	if c.ReadBurstSigma == 0 {
-		return 0.02
-	}
-	return c.ReadBurstSigma
 }
 
 // Injector holds the pre-drawn fault structure of one array plus the
@@ -148,6 +148,7 @@ type Injector struct {
 // The seed combines cfg.Seed with the caller-supplied stream offset so
 // each crossbar of a network gets an independent, reproducible stream.
 func NewInjector(cfg Config, n int, seed int64) (*Injector, error) {
+	cfg = cfg.Normalized()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -166,13 +167,13 @@ func NewInjector(cfg Config, n int, seed int64) (*Injector, error) {
 	}
 	for i := 0; i < n; i++ {
 		inj.u[i] = rngStruct.Float64()
-		if rngStruct.Float64() < cfg.lrsFrac() {
+		if rngStruct.Float64() < cfg.LRSFrac {
 			inj.kind[i] = device.FaultStuckLRS
 		} else {
 			inj.kind[i] = device.FaultStuckHRS
 		}
 		if cfg.HazardScale > 0 {
-			inj.capacity[i] = cfg.HazardScale * math.Exp(rngStruct.Normal(0, cfg.hazardSpread()))
+			inj.capacity[i] = cfg.HazardScale * math.Exp(rngStruct.Normal(0, cfg.HazardSpread))
 		} else {
 			inj.capacity[i] = math.Inf(1)
 		}
@@ -221,7 +222,7 @@ func (in *Injector) ReadBurst() (bool, float64) {
 		return false, 0
 	}
 	if in.rngRead.Float64() < in.cfg.ReadBurstProb {
-		return true, in.cfg.readBurstSigma()
+		return true, in.cfg.ReadBurstSigma
 	}
 	return false, 0
 }

@@ -69,6 +69,21 @@ func (s Scenario) String() string {
 	}
 }
 
+// ParseScenario is the inverse of Scenario.String; it is how scenario
+// files and CLI flags name the Table I configurations.
+func ParseScenario(s string) (Scenario, error) {
+	switch s {
+	case "T+T":
+		return TT, nil
+	case "ST+T":
+		return STT, nil
+	case "ST+AT":
+		return STAT, nil
+	default:
+		return 0, fmt.Errorf("lifetime: unknown scenario %q (want T+T, ST+T, or ST+AT)", s)
+	}
+}
+
 // MappingPolicy returns the hardware-mapping policy the scenario uses.
 func (s Scenario) MappingPolicy() mapping.PolicyKind {
 	if s == STAT {
@@ -77,71 +92,49 @@ func (s Scenario) MappingPolicy() mapping.PolicyKind {
 	return mapping.Fresh
 }
 
-// Config parameterizes a lifetime simulation.
+// Config parameterizes a lifetime simulation. The JSON tags are the
+// schema of the "lifetime" section of a scenario spec (internal/spec):
+// the tuning, mapping, and fault sub-configs nest as JSON objects,
+// while runtime-injected knobs (Seed, PolicyOverride, and the tuning
+// target/seed the driver derives per cycle) are excluded.
 type Config struct {
 	// AppsPerCycle is the number of applications served per deployment
 	// cycle (the granularity of the Fig. 10 x-axis).
-	AppsPerCycle int64
+	AppsPerCycle int64 `json:"apps_per_cycle"`
 	// MaxCycles bounds the simulation.
-	MaxCycles int
-	// TuneCap is the online-tuning iteration budget per cycle; the
-	// paper uses 150.
-	TuneCap int
+	MaxCycles int `json:"max_cycles"`
 	// TargetAcc is the accuracy online tuning must restore each cycle.
-	TargetAcc float64
+	// In a scenario file, 0 means "derive from the fresh-mapped
+	// accuracy" (see internal/spec and SuggestTarget); by the time the
+	// simulation runs it must be positive.
+	TargetAcc float64 `json:"target_acc"`
 	// DriftSigma is the read-disturb drift per cycle, relative to each
 	// device's resistance (0.05 = 5%).
-	DriftSigma float64
-	// TuneBatch is the tuning minibatch size.
-	TuneBatch int
-	// StepFrac is the tuning step fraction (see tuning.Config).
-	StepFrac float64
+	DriftSigma float64 `json:"drift_sigma"`
 	// EvalN is the number of training samples used to judge accuracy
 	// and score aging-aware range candidates.
-	EvalN int
+	EvalN int `json:"eval_n"`
 	// Seed drives drift and batch shuffling.
-	Seed int64
+	Seed int64 `json:"-"`
 	// TraceStride overrides the representative-tracing density (the
 	// paper's 1-of-9 corresponds to 3). Zero keeps the default.
-	TraceStride int
+	TraceStride int `json:"trace_stride"`
 	// AgingVariability is the sigma of the lognormal device-to-device
 	// endurance variation. Zero means identical devices.
-	AgingVariability float64
+	AgingVariability float64 `json:"aging_variability"`
 	// BurnInStress injects this much prior-life stress into every
 	// device before the simulation starts, so runs can begin from a
 	// pre-aged array (where mapping-policy differences are visible).
 	// Zero starts from a fresh array.
-	BurnInStress float64
+	BurnInStress float64 `json:"burn_in_stress"`
 	// RemapIterFrac triggers a re-mapping when a cycle's tuning took at
-	// least this fraction of TuneCap: tuning has become expensive, so
-	// the controller re-deploys the trained weights under the
-	// scenario's mapping policy. Zero means 0.5.
-	RemapIterFrac float64
+	// least this fraction of the Tuning.MaxIters budget: tuning has
+	// become expensive, so the controller re-deploys the trained
+	// weights under the scenario's mapping policy. Zero means 0.5.
+	RemapIterFrac float64 `json:"remap_iter_frac"`
 	// PolicyOverride, when non-nil, replaces the scenario's mapping
 	// policy — used by the range-policy ablation.
-	PolicyOverride *mapping.PolicyKind
-	// Faults configures device-fault injection (stuck-at devices,
-	// transient programming failures, read-noise bursts); the zero
-	// value runs the clean-room simulation with no faults. See
-	// internal/fault.
-	Faults fault.Config
-	// FaultAwareRemap makes every (re)mapping tolerate stuck devices:
-	// range selection consults only healthy traced devices and
-	// programming skips/compensates stuck cells. Disabling it while
-	// faults are injected is the ablation arm of the fault-sweep
-	// experiment: the controller then wastes writes on dead cells and
-	// lets them distort the selected range.
-	FaultAwareRemap bool
-	// RetryBudget is the tuning retry cap for transient programming
-	// failures (see tuning.Config.RetryBudget). Zero means the tuning
-	// default; negative disables retries.
-	RetryBudget int
-	// Workers is the forward-pass parallelism for accuracy evaluation
-	// during tuning (see tuning.Config.Workers). Evaluation is
-	// bit-identical for every value — campaign shards stay
-	// deterministic — so this is a pure speed knob; <= 1 keeps
-	// evaluation serial.
-	Workers int
+	PolicyOverride *mapping.PolicyKind `json:"-"`
 	// DegradedAccFrac enables graceful degradation: when even a
 	// rescue remap cannot reach TargetAcc but the accuracy still
 	// reaches DegradedAccFrac*TargetAcc, the array keeps serving at
@@ -149,7 +142,26 @@ type Config struct {
 	// has a measured, not assumed, end of life. Zero disables
 	// degradation (any miss of TargetAcc is fatal, the paper's
 	// original criterion); the fault experiments use 0.9.
-	DegradedAccFrac float64
+	DegradedAccFrac float64 `json:"degraded_acc_frac"`
+	// Tuning parameterizes the per-cycle online tuning runs. Its
+	// MaxIters is the paper's 150-iteration lifetime criterion; its
+	// TargetAcc and Seed fields are ignored — the driver injects the
+	// effective target (graceful degradation lowers it) and a per-cycle
+	// seed.
+	Tuning tuning.Config `json:"tuning"`
+	// Mapping parameterizes every (re)mapping pass. Its Policy field is
+	// ignored — the scenario (or PolicyOverride) decides the policy.
+	// Mapping.FaultAware makes every (re)mapping tolerate stuck
+	// devices: range selection consults only healthy traced devices and
+	// programming skips/compensates stuck cells. Disabling it while
+	// faults are injected is the ablation arm of the fault-sweep
+	// experiment.
+	Mapping mapping.Config `json:"mapping"`
+	// Faults configures device-fault injection (stuck-at devices,
+	// transient programming failures, read-noise bursts); the zero
+	// value runs the clean-room simulation with no faults. See
+	// internal/fault.
+	Faults fault.Config `json:"faults"`
 }
 
 // Validate reports an error for degenerate configs.
@@ -159,14 +171,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("lifetime: AppsPerCycle must be >= 1, got %d", c.AppsPerCycle)
 	case c.MaxCycles < 1:
 		return fmt.Errorf("lifetime: MaxCycles must be >= 1, got %d", c.MaxCycles)
-	case c.TuneCap < 1:
-		return fmt.Errorf("lifetime: TuneCap must be >= 1, got %d", c.TuneCap)
+	case c.Tuning.MaxIters < 1:
+		return fmt.Errorf("lifetime: Tuning.MaxIters must be >= 1, got %d", c.Tuning.MaxIters)
 	case c.TargetAcc <= 0 || c.TargetAcc > 1:
 		return fmt.Errorf("lifetime: TargetAcc must be in (0,1], got %g", c.TargetAcc)
 	case c.DriftSigma < 0:
 		return fmt.Errorf("lifetime: DriftSigma must be non-negative, got %g", c.DriftSigma)
-	case c.TuneBatch < 1:
-		return fmt.Errorf("lifetime: TuneBatch must be >= 1, got %d", c.TuneBatch)
+	case c.Tuning.BatchSize < 1:
+		return fmt.Errorf("lifetime: Tuning.BatchSize must be >= 1, got %d", c.Tuning.BatchSize)
 	case c.EvalN < 1:
 		return fmt.Errorf("lifetime: EvalN must be >= 1, got %d", c.EvalN)
 	case c.TraceStride < 0:
@@ -183,21 +195,38 @@ func (c Config) Validate() error {
 	return c.Faults.Validate()
 }
 
+// Normalized returns the config with every "zero means X" field
+// resolved, recursively through the tuning, mapping, and fault
+// sub-configs: RemapIterFrac 0 -> 0.5 plus the sub-configs' own
+// normalizations. RunCtx applies it on entry; scenario specs serialize
+// the resolved form (internal/spec.Defaults).
+func (c Config) Normalized() Config {
+	if c.RemapIterFrac == 0 {
+		c.RemapIterFrac = 0.5
+	}
+	c.Tuning = c.Tuning.Normalized()
+	c.Mapping = c.Mapping.Normalized()
+	c.Faults = c.Faults.Normalized()
+	return c
+}
+
 // DefaultConfig returns the configuration used by the Table I / Fig. 10
 // experiments.
 func DefaultConfig() Config {
 	return Config{
 		AppsPerCycle:     1_000_000,
 		MaxCycles:        200,
-		TuneCap:          150,
 		TargetAcc:        0.75,
 		DriftSigma:       0.05,
-		TuneBatch:        32,
-		StepFrac:         0.25,
 		EvalN:            96,
 		Seed:             1,
 		AgingVariability: 0.2,
 		RemapIterFrac:    0.12,
+		Tuning: tuning.Config{
+			MaxIters:  150,
+			BatchSize: 32,
+			StepFrac:  0.25,
+		},
 	}
 }
 
@@ -294,6 +323,7 @@ func RunCtx(ctx context.Context, net *nn.Network, trainDS *dataset.Dataset, sc S
 
 func runCtx(ctx context.Context, net *nn.Network, trainDS *dataset.Dataset, sc Scenario, p device.Params, model aging.Model, tempK float64, cfg Config) (Result, error) {
 	res := Result{Scenario: sc}
+	cfg = cfg.Normalized()
 	if err := cfg.Validate(); err != nil {
 		return res, err
 	}
@@ -326,7 +356,8 @@ func runCtx(ctx context.Context, net *nn.Network, trainDS *dataset.Dataset, sc S
 	if cfg.PolicyOverride != nil {
 		policy = *cfg.PolicyOverride
 	}
-	mapCfg := mapping.Config{Policy: policy, FaultAware: cfg.FaultAwareRemap}
+	mapCfg := cfg.Mapping
+	mapCfg.Policy = policy
 
 	// Initial deployment: one mapping pass (Fig. 5 work flow).
 	if _, err := mapping.Map(mn, mapCfg, evalBatch.X, evalBatch.Y); err != nil {
@@ -334,15 +365,10 @@ func runCtx(ctx context.Context, net *nn.Network, trainDS *dataset.Dataset, sc S
 	}
 
 	tune := func(cycle int, target float64) (tuning.Result, error) {
-		return tuning.Tune(mn, trainDS, evalBatch.X, evalBatch.Y, tuning.Config{
-			MaxIters:    cfg.TuneCap,
-			TargetAcc:   target,
-			BatchSize:   cfg.TuneBatch,
-			StepFrac:    cfg.StepFrac,
-			RetryBudget: cfg.RetryBudget,
-			Seed:        cfg.Seed + int64(cycle),
-			Workers:     cfg.Workers,
-		})
+		tc := cfg.Tuning
+		tc.TargetAcc = target
+		tc.Seed = cfg.Seed + int64(cycle)
+		return tuning.Tune(mn, trainDS, evalBatch.X, evalBatch.Y, tc)
 	}
 
 	// Graceful degradation: effTarget starts at TargetAcc; when even a
@@ -371,11 +397,7 @@ func runCtx(ctx context.Context, net *nn.Network, trainDS *dataset.Dataset, sc S
 			Acc:       tuneRes.FinalAcc,
 			Retries:   tuneRes.Retries,
 		}
-		remapFrac := cfg.RemapIterFrac
-		if remapFrac == 0 {
-			remapFrac = 0.5
-		}
-		if !tuneRes.Converged || float64(tuneRes.Iterations) >= remapFrac*float64(cfg.TuneCap) {
+		if !tuneRes.Converged || float64(tuneRes.Iterations) >= cfg.RemapIterFrac*float64(cfg.Tuning.MaxIters) {
 			// Stage 2: tuning is failing or has become expensive —
 			// remap the trained weights (under the scenario's policy,
 			// fault-aware when configured) and retry tuning.

@@ -16,9 +16,9 @@ func TestGracefulDegradationEngages(t *testing.T) {
 	net, ds := fixture(t, false)
 	cfg := testConfig(0.999) // unreachable on the defective array below
 	cfg.MaxCycles = 4
-	cfg.TuneCap = 15
+	cfg.Tuning.MaxIters = 15
 	cfg.DegradedAccFrac = 0.5 // floor ~0.5, comfortably achievable
-	cfg.FaultAwareRemap = true
+	cfg.Mapping.FaultAware = true
 	// 30% stuck-at-LRS: compensation holds the accuracy in the 0.8s —
 	// well above the floor, well below the target.
 	cfg.Faults = fault.Config{StuckRate: 0.3, LRSFrac: 1.0, Seed: 3}
@@ -60,8 +60,8 @@ func TestZeroDegradedFracPreservesHardFailure(t *testing.T) {
 	net, ds := fixture(t, false)
 	cfg := testConfig(0.999)
 	cfg.MaxCycles = 4
-	cfg.TuneCap = 15
-	cfg.FaultAwareRemap = true
+	cfg.Tuning.MaxIters = 15
+	cfg.Mapping.FaultAware = true
 	cfg.Faults = fault.Config{StuckRate: 0.3, LRSFrac: 1.0, Seed: 3}
 	// DegradedAccFrac left at zero.
 
@@ -102,9 +102,9 @@ func TestFaultsThreadedThroughRun(t *testing.T) {
 	net, ds := fixture(t, false)
 	cfg := testConfig(0.55)
 	cfg.MaxCycles = 2
-	cfg.TuneCap = 15
+	cfg.Tuning.MaxIters = 15
 	cfg.DegradedAccFrac = 0.5
-	cfg.FaultAwareRemap = true
+	cfg.Mapping.FaultAware = true
 	cfg.Faults = fault.Config{StuckRate: 0.02, LRSFrac: 1.0, Seed: 3}
 
 	res, err := Run(net, ds, TT, device.Params32(), aging.DefaultModel(), 300, cfg)

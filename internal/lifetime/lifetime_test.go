@@ -9,6 +9,7 @@ import (
 	"memlife/internal/nn"
 	"memlife/internal/tensor"
 	"memlife/internal/train"
+	"memlife/internal/tuning"
 )
 
 // fastAging returns an aggressive aging model so failures occur within
@@ -55,12 +56,11 @@ func testConfig(target float64) Config {
 	return Config{
 		AppsPerCycle: 1000,
 		MaxCycles:    25,
-		TuneCap:      40,
 		TargetAcc:    target,
 		DriftSigma:   0.05,
-		TuneBatch:    32,
 		EvalN:        64,
 		Seed:         5,
+		Tuning:       tuning.Config{MaxIters: 40, BatchSize: 32},
 	}
 }
 
@@ -80,14 +80,15 @@ func TestConfigValidation(t *testing.T) {
 	if err := DefaultConfig().Validate(); err != nil {
 		t.Fatalf("default config rejected: %v", err)
 	}
+	tinyTune := tuning.Config{MaxIters: 1, BatchSize: 1}
 	bad := []Config{
-		{AppsPerCycle: 0, MaxCycles: 1, TuneCap: 1, TargetAcc: 0.5, TuneBatch: 1, EvalN: 1},
-		{AppsPerCycle: 1, MaxCycles: 0, TuneCap: 1, TargetAcc: 0.5, TuneBatch: 1, EvalN: 1},
-		{AppsPerCycle: 1, MaxCycles: 1, TuneCap: 0, TargetAcc: 0.5, TuneBatch: 1, EvalN: 1},
-		{AppsPerCycle: 1, MaxCycles: 1, TuneCap: 1, TargetAcc: 0, TuneBatch: 1, EvalN: 1},
-		{AppsPerCycle: 1, MaxCycles: 1, TuneCap: 1, TargetAcc: 0.5, TuneBatch: 0, EvalN: 1},
-		{AppsPerCycle: 1, MaxCycles: 1, TuneCap: 1, TargetAcc: 0.5, TuneBatch: 1, EvalN: 0},
-		{AppsPerCycle: 1, MaxCycles: 1, TuneCap: 1, TargetAcc: 0.5, DriftSigma: -1, TuneBatch: 1, EvalN: 1},
+		{AppsPerCycle: 0, MaxCycles: 1, TargetAcc: 0.5, EvalN: 1, Tuning: tinyTune},
+		{AppsPerCycle: 1, MaxCycles: 0, TargetAcc: 0.5, EvalN: 1, Tuning: tinyTune},
+		{AppsPerCycle: 1, MaxCycles: 1, TargetAcc: 0.5, EvalN: 1, Tuning: tuning.Config{MaxIters: 0, BatchSize: 1}},
+		{AppsPerCycle: 1, MaxCycles: 1, TargetAcc: 0, EvalN: 1, Tuning: tinyTune},
+		{AppsPerCycle: 1, MaxCycles: 1, TargetAcc: 0.5, EvalN: 1, Tuning: tuning.Config{MaxIters: 1, BatchSize: 0}},
+		{AppsPerCycle: 1, MaxCycles: 1, TargetAcc: 0.5, EvalN: 0, Tuning: tinyTune},
+		{AppsPerCycle: 1, MaxCycles: 1, TargetAcc: 0.5, DriftSigma: -1, EvalN: 1, Tuning: tinyTune},
 	}
 	for i, c := range bad {
 		if err := c.Validate(); err == nil {

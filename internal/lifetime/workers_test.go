@@ -7,7 +7,8 @@ import (
 	"memlife/internal/fault"
 )
 
-// TestWorkersEquivalence pins the contract of Config.Workers: forward
+// TestWorkersEquivalence pins the contract of Config.Tuning.Workers:
+// forward
 // evaluation parallelism is a pure speed knob, so a run with a worker
 // pool must produce the exact same Result — record by record, bit by
 // bit — as the serial run. This is what keeps campaign shards
@@ -27,13 +28,13 @@ func TestWorkersEquivalence(t *testing.T) {
 		ReadBurstProb: 0.1,
 		Seed:          9,
 	}
-	cfg.FaultAwareRemap = true
+	cfg.Mapping.FaultAware = true
 
 	run := func(workers int) Result {
 		t.Helper()
 		net.RestoreParams(snap)
 		c := cfg
-		c.Workers = workers
+		c.Tuning.Workers = workers
 		res, err := Run(net, trainDS, STAT, device.Params32(), fastAging(), 300, c)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)

@@ -49,16 +49,36 @@ func (k PolicyKind) String() string {
 	}
 }
 
-// Config parameterizes mapping.
+// ParsePolicy is the inverse of PolicyKind.String; it is how scenario
+// files and CLI flags name mapping policies.
+func ParsePolicy(s string) (PolicyKind, error) {
+	switch s {
+	case "fresh":
+		return Fresh, nil
+	case "aging-aware":
+		return AgingAware, nil
+	case "worst-case":
+		return WorstCase, nil
+	case "mean-bound":
+		return MeanBound, nil
+	default:
+		return 0, fmt.Errorf("mapping: unknown policy %q (want fresh, aging-aware, worst-case, or mean-bound)", s)
+	}
+}
+
+// Config parameterizes mapping. The JSON tags are the schema of the
+// "mapping" section of a scenario spec (internal/spec); Policy is
+// excluded because the scenario (T+T / ST+T / ST+AT) or an explicit
+// policy override decides it at run time.
 type Config struct {
-	Policy PolicyKind
+	Policy PolicyKind `json:"-"`
 	// MaxCandidates bounds the number of candidate upper bounds the
 	// iterative selection evaluates (evenly subsampled from the sorted
 	// traced bounds). Zero means 8.
-	MaxCandidates int
+	MaxCandidates int `json:"max_candidates"`
 	// MinLevels is the smallest number of quantization levels a
 	// selected range may span. Zero means 4.
-	MinLevels int
+	MinLevels int `json:"min_levels"`
 	// FaultAware makes the mapping tolerate permanently stuck devices
 	// instead of fighting them: the common-range selection draws its
 	// candidate bounds only from healthy traced devices (a stuck
@@ -67,21 +87,21 @@ type Config struct {
 	// current contribution through the healthy cells of the same
 	// column (Crossbar.MapWeightsFaultAware). With no stuck devices
 	// the mapping is identical to the fault-unaware one.
-	FaultAware bool
+	FaultAware bool `json:"fault_aware"`
 }
 
-func (c Config) maxCandidates() int {
+// Normalized returns the config with its "zero means X" fields
+// resolved: MaxCandidates <= 0 -> 8, MinLevels <= 0 -> 4. Map applies
+// it on entry; scenario specs serialize the resolved form
+// (internal/spec.Defaults).
+func (c Config) Normalized() Config {
 	if c.MaxCandidates <= 0 {
-		return 8
+		c.MaxCandidates = 8
 	}
-	return c.MaxCandidates
-}
-
-func (c Config) minLevels() int {
 	if c.MinLevels <= 0 {
-		return 4
+		c.MinLevels = 4
 	}
-	return c.MinLevels
+	return c
 }
 
 // CandidateScore records one evaluated candidate of the iterative
@@ -111,6 +131,7 @@ type Result struct {
 // candidates; they are required for the AgingAware policy and ignored
 // otherwise.
 func Map(mn *crossbar.MappedNetwork, cfg Config, evalX *tensor.Tensor, evalY []int) (Result, error) {
+	cfg = cfg.Normalized()
 	res := Result{Policy: cfg.Policy}
 	if cfg.Policy == AgingAware && (evalX == nil || len(evalY) == 0) {
 		return res, fmt.Errorf("mapping: aging-aware policy needs evaluation samples")
@@ -154,7 +175,7 @@ func selectRange(mn *crossbar.MappedNetwork, i int, cfg Config, evalX *tensor.Te
 	l := mn.Layers[i]
 	p := l.Crossbar.Params()
 	rLo := p.RminFresh
-	minWidth := float64(cfg.minLevels()-1) * p.LevelSpacing()
+	minWidth := float64(cfg.MinLevels-1) * p.LevelSpacing()
 	clampHi := func(hi float64) float64 {
 		if hi > p.RmaxFresh {
 			hi = p.RmaxFresh
@@ -211,7 +232,7 @@ func selectRange(mn *crossbar.MappedNetwork, i int, cfg Config, evalX *tensor.Te
 			snapped = append(snapped, clampHi(p.LevelResistance(lvl)))
 		}
 		sort.Float64s(snapped)
-		candidates := candidateBounds(snapped, cfg.maxCandidates())
+		candidates := candidateBounds(snapped, cfg.MaxCandidates)
 		// Evaluate widest-first so ties keep the widest range (more
 		// levels, lower currents).
 		bestAcc := -1.0

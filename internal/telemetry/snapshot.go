@@ -51,6 +51,12 @@ type TimelineSnap struct {
 // instrument name within each kind — the canonical JSON form written
 // by -metrics-out and served at /metrics/json.
 type Snapshot struct {
+	// Version is the build header the writing binary stamps on the
+	// snapshot (module version and VCS revision, see cmd/memlife
+	// -version); empty when the writer predates the field or did not set
+	// it. It identifies which build produced a metrics file without
+	// affecting the deterministic instrument comparison.
+	Version    string          `json:"version,omitempty"`
 	Counters   []CounterSnap   `json:"counters"`
 	Gauges     []GaugeSnap     `json:"gauges"`
 	Histograms []HistogramSnap `json:"histograms"`

@@ -23,26 +23,29 @@ import (
 	"memlife/internal/tensor"
 )
 
-// Config parameterizes one tuning run.
+// Config parameterizes one tuning run. The JSON tags are the schema of
+// the "tuning" section of a scenario spec (internal/spec); TargetAcc
+// and Seed are excluded because the lifetime driver injects them per
+// deployment cycle.
 type Config struct {
 	// MaxIters is the iteration budget; the paper uses 150.
-	MaxIters int
+	MaxIters int `json:"max_iters"`
 	// TargetAcc is the classification accuracy (on the evaluation
 	// samples) at which tuning stops.
-	TargetAcc float64
+	TargetAcc float64 `json:"-"`
 	// BatchSize is the minibatch size for gradient estimation.
-	BatchSize int
+	BatchSize int `json:"batch_size"`
 	// StepFrac is the fraction of devices (those with the largest
 	// gradient magnitudes, per layer) pulsed each iteration. Zero
 	// means 0.25. Pulsing everything would both over-age the array and
 	// overshoot; real tuning controllers prioritize the worst weights.
-	StepFrac float64
+	StepFrac float64 `json:"step_frac"`
 	// Patience stops a run early when the evaluation accuracy has not
 	// improved for this many consecutive iterations. Pulsing a stuck
 	// array only ages it further, so giving up early preserves the
 	// remaining endurance for a re-mapping attempt. Zero means 10;
 	// negative disables early stopping.
-	Patience int
+	Patience int `json:"patience"`
 	// RetryBudget caps the immediate retries of a tuning pulse that
 	// silently failed to move its device (transient programming
 	// failure). Every retry is a real pulse: it dissipates the same
@@ -50,14 +53,15 @@ type Config struct {
 	// successful one, so retries trade endurance for convergence
 	// speed. Permanently stuck devices are never retried — they are
 	// skipped outright. Zero means 2; negative disables retries.
-	RetryBudget int
+	RetryBudget int `json:"retry_budget"`
 	// Seed drives batch shuffling.
-	Seed int64
+	Seed int64 `json:"-"`
 	// Workers is the forward-pass parallelism used for accuracy
 	// evaluation (see nn.Network.SetForwardWorkers). Evaluation results
-	// are bit-identical for every value, so this is a pure speed knob;
-	// <= 1 keeps evaluation serial.
-	Workers int
+	// are bit-identical for every value, so this is a pure speed knob —
+	// and therefore excluded from the scenario schema (it must never
+	// change a spec fingerprint); <= 1 keeps evaluation serial.
+	Workers int `json:"-"`
 }
 
 // Validate reports an error for degenerate configs.
@@ -75,31 +79,29 @@ func (c Config) Validate() error {
 	return nil
 }
 
-func (c Config) stepFrac() float64 {
+// Normalized returns the config with every "zero means X" field
+// resolved to its effective value: StepFrac 0 -> 0.25, Patience 0 ->
+// 10 (negative -> effectively disabled), RetryBudget 0 -> 2 (negative
+// -> no retries). Tune applies it on entry, so callers may pass either
+// sparse or resolved configs; the resolved form is what scenario specs
+// serialize (internal/spec.Defaults).
+func (c Config) Normalized() Config {
 	if c.StepFrac == 0 {
-		return 0.25
+		c.StepFrac = 0.25
 	}
-	return c.StepFrac
-}
-
-func (c Config) patience() int {
-	if c.Patience == 0 {
-		return 10
+	switch {
+	case c.Patience == 0:
+		c.Patience = 10
+	case c.Patience < 0:
+		c.Patience = 1 << 30 // effectively disabled
 	}
-	if c.Patience < 0 {
-		return 1 << 30 // effectively disabled
+	switch {
+	case c.RetryBudget == 0:
+		c.RetryBudget = 2
+	case c.RetryBudget < 0:
+		c.RetryBudget = 0
 	}
-	return c.Patience
-}
-
-func (c Config) retryBudget() int {
-	if c.RetryBudget == 0 {
-		return 2
-	}
-	if c.RetryBudget < 0 {
-		return 0
-	}
-	return c.RetryBudget
+	return c
 }
 
 // Result reports the outcome of one tuning run.
@@ -148,6 +150,7 @@ func Tune(mn *crossbar.MappedNetwork, ds *dataset.Dataset, evalX *tensor.Tensor,
 
 func tune(mn *crossbar.MappedNetwork, ds *dataset.Dataset, evalX *tensor.Tensor, evalY []int, cfg Config) (Result, error) {
 	var res Result
+	cfg = cfg.Normalized()
 	if err := cfg.Validate(); err != nil {
 		return res, err
 	}
@@ -186,14 +189,14 @@ func tune(mn *crossbar.MappedNetwork, ds *dataset.Dataset, evalX *tensor.Tensor,
 			sinceImprovement = 0
 		} else {
 			sinceImprovement++
-			if sinceImprovement >= cfg.patience() {
+			if sinceImprovement >= cfg.Patience {
 				iters = it
 				break
 			}
 		}
 		b := batches[next]
 		next = (next + 1) % len(batches)
-		retries, skipped, err := step(mn, b, cfg.stepFrac(), cfg.retryBudget())
+		retries, skipped, err := step(mn, b, cfg.StepFrac, cfg.RetryBudget)
 		if err != nil {
 			return res, err
 		}
