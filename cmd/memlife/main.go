@@ -11,7 +11,13 @@
 //	memlife -all [-fast] [-workers M]
 //	memlife -run table1,fault-sweep -seeds 5 -workers 4 -json out.json [-resume]
 //	memlife -scenario file.json [-fast] [-seed N] [-dump-spec]
+//	memlife serve -addr 127.0.0.1:8080 -store dir [-v]
+//	memlife doctor -store dir
 //	memlife -version
+//
+// Exit codes: 0 success (including a graceful serve drain), 1 runtime
+// failure, 2 usage error, 3 force-exit (a second SIGINT/SIGTERM while
+// the first one's graceful drain was still in progress).
 //
 // With -seeds/-json/-resume the selected experiments run as a Monte
 // Carlo campaign: every (experiment, seed) pair becomes one shard on a
@@ -45,10 +51,41 @@ import (
 	"memlife/internal/telemetry"
 )
 
+// exitForced is the exit code of a second interrupt: the first always
+// starts a graceful drain (cancel the run context, checkpoint, flush
+// telemetry), the second abandons it immediately. Distinct from 1
+// (runtime failure) and 2 (usage) so wrappers can tell a hard kill
+// from a failed run.
+const exitForced = 3
+
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain wires the two-stage signal contract around run: the first
+// SIGINT/SIGTERM cancels the context (every mode treats that as
+// "drain and exit cleanly"); a second one force-exits with exitForced
+// for runs whose drain hangs or takes longer than the operator's
+// patience. Extracted from main so the e2e tests can exercise the real
+// signal path in a helper process.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	go func() {
+		s, ok := <-sig
+		if !ok {
+			return
+		}
+		fmt.Fprintf(stderr, "memlife: %v: draining (send again to force-exit)\n", s)
+		cancel()
+		if _, ok := <-sig; ok {
+			os.Exit(exitForced)
+		}
+	}()
+	return run(ctx, args, stdout, stderr)
 }
 
 // cliConfig is the parsed flag set of one invocation.
@@ -91,6 +128,19 @@ type cliConfig struct {
 // (unknown experiment id, conflicting flags) produce a one-line message
 // on stderr and a non-zero code — never a stack trace.
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	// Subcommands route before flag parsing; everything else is the
+	// historical flag-driven CLI.
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		switch args[0] {
+		case "serve":
+			return runServe(ctx, args[1:], stdout, stderr)
+		case "doctor":
+			return runDoctor(args[1:], stdout, stderr)
+		default:
+			fmt.Fprintf(stderr, "memlife: unknown subcommand %q (want serve or doctor; experiments are selected with -run)\n", args[0])
+			return 2
+		}
+	}
 	fs := flag.NewFlagSet("memlife", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var c cliConfig

@@ -1,0 +1,362 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMain doubles the test binary as the real memlife entry point:
+// when MEMLIFE_E2E_MAIN is set, it runs realMain — full signal
+// handling included — so the e2e tests below can exercise genuine
+// SIGTERM drains and SIGKILL crashes against a real process.
+func TestMain(m *testing.M) {
+	if os.Getenv("MEMLIFE_E2E_MAIN") == "1" {
+		os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// tinySpec keeps e2e jobs around a handful of seconds: fast fixture
+// budgets and a two-cycle lifetime simulation.
+const tinySpec = `{"run":{"fast":true},"lifetime":{"max_cycles":2,"eval_n":64}}`
+
+// daemon is one spawned `memlife serve` process.
+type daemon struct {
+	cmd    *exec.Cmd
+	addr   string
+	stderr *bytes.Buffer
+	mu     *sync.Mutex
+}
+
+func (d *daemon) stderrText() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stderr.String()
+}
+
+// spawnServe starts a real daemon process on a free port and waits for
+// its "serving on" banner.
+func spawnServe(t *testing.T, store string, extra ...string) *daemon {
+	t.Helper()
+	args := append([]string{"serve", "-addr", "127.0.0.1:0", "-store", store}, extra...)
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "MEMLIFE_E2E_MAIN=1")
+	pipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, stderr: &bytes.Buffer{}, mu: &sync.Mutex{}}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(pipe)
+		for sc.Scan() {
+			line := sc.Text()
+			d.mu.Lock()
+			fmt.Fprintln(d.stderr, line)
+			d.mu.Unlock()
+			if _, rest, ok := strings.Cut(line, "serving on http://"); ok {
+				select {
+				case addrCh <- strings.Fields(rest)[0]:
+				default:
+				}
+			}
+		}
+	}()
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	select {
+	case d.addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon never announced its address; stderr:\n%s", d.stderrText())
+	}
+	return d
+}
+
+// wait blocks for process exit and returns its exit code.
+func (d *daemon) wait(t *testing.T) int {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			return 0
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		t.Fatalf("wait: %v", err)
+	case <-time.After(120 * time.Second):
+		d.cmd.Process.Kill()
+		t.Fatalf("daemon never exited; stderr:\n%s", d.stderrText())
+	}
+	return -1
+}
+
+func (d *daemon) signal(t *testing.T, sig os.Signal) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type e2eJob struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached"`
+}
+
+func e2eSubmit(t *testing.T, addr string, seeds int) (int, e2eJob) {
+	t.Helper()
+	url := fmt.Sprintf("http://%s/v1/jobs?seeds=%d", addr, seeds)
+	resp, err := http.Post(url, "application/json", strings.NewReader(tinySpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var job e2eJob
+	if resp.StatusCode < 400 {
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, job
+}
+
+func e2eWaitDone(t *testing.T, addr, id string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(fmt.Sprintf("http://%s/v1/jobs/%s", addr, id))
+		if err == nil {
+			var job e2eJob
+			derr := json.NewDecoder(resp.Body).Decode(&job)
+			resp.Body.Close()
+			if derr == nil {
+				switch job.State {
+				case "done":
+					return
+				case "failed":
+					t.Fatalf("job %s failed", id)
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s not done after %s", id, timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func e2eResult(t *testing.T, addr, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s/v1/results/%s", addr, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET result = %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func e2eGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+// TestServeE2EGracefulLifecycle is the serve-mode smoke: submit a
+// scenario, see it complete, resubmit for an instant cache hit, check
+// the operational endpoints, SIGTERM, and verify a clean exit-0 drain
+// that leaves a store `memlife doctor` signs off on.
+func TestServeE2EGracefulLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e daemon test in -short mode")
+	}
+	store := filepath.Join(t.TempDir(), "store")
+	d := spawnServe(t, store, "-v")
+
+	code, job := e2eSubmit(t, d.addr, 1)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", code)
+	}
+	e2eWaitDone(t, d.addr, job.ID, 90*time.Second)
+
+	// Duplicate submission: served from the store, no re-simulation.
+	code, dup := e2eSubmit(t, d.addr, 1)
+	if code != http.StatusOK || !dup.Cached {
+		t.Fatalf("duplicate submit = %d cached=%v, want 200 cached", code, dup.Cached)
+	}
+
+	if code, body := e2eGet(t, "http://"+d.addr+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+	if code, body := e2eGet(t, "http://"+d.addr+"/metrics/json"); code != 200 || !strings.Contains(body, "server/jobs_done") {
+		t.Fatalf("metrics = %d, want server counters in body (got %q)", code, body)
+	}
+
+	d.signal(t, syscall.SIGTERM)
+	if exit := d.wait(t); exit != 0 {
+		t.Fatalf("SIGTERM drain exited %d, want 0; stderr:\n%s", exit, d.stderrText())
+	}
+	if !strings.Contains(d.stderrText(), "draining") {
+		t.Fatalf("drain must announce itself on stderr:\n%s", d.stderrText())
+	}
+	assertNoPartialFiles(t, store)
+
+	var out, errb strings.Builder
+	if code := run(context.Background(), []string{"doctor", "-store", store}, &out, &errb); code != 0 {
+		t.Fatalf("doctor after drain exited %d:\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "is healthy") {
+		t.Fatalf("doctor verdict missing:\n%s", out.String())
+	}
+}
+
+// TestServeE2EKillResumeByteIdentical is the crash drill with a real
+// SIGKILL: a daemon is killed mid-job after at least one shard hit the
+// checkpoint; a fresh daemon over the same store resumes the job and
+// must produce a result byte-identical to a never-interrupted daemon's.
+func TestServeE2EKillResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e daemon test in -short mode")
+	}
+	const seeds = 3
+
+	// Reference: uninterrupted daemon in its own store.
+	storeA := filepath.Join(t.TempDir(), "a")
+	dA := spawnServe(t, storeA)
+	_, jobA := e2eSubmit(t, dA.addr, seeds)
+	e2eWaitDone(t, dA.addr, jobA.ID, 120*time.Second)
+	want := e2eResult(t, dA.addr, jobA.ID)
+	dA.signal(t, syscall.SIGTERM)
+	if exit := dA.wait(t); exit != 0 {
+		t.Fatalf("reference daemon drain exited %d", exit)
+	}
+
+	// Victim: SIGKILL as soon as the first shard lands in the
+	// checkpoint journal — no drain, no cleanup.
+	storeB := filepath.Join(t.TempDir(), "b")
+	dB := spawnServe(t, storeB)
+	_, jobB := e2eSubmit(t, dB.addr, seeds)
+	if jobB.ID != jobA.ID {
+		t.Fatalf("same spec produced ids %s vs %s", jobB.ID, jobA.ID)
+	}
+	ckpt := filepath.Join(storeB, "work", jobB.ID+".ckpt.jsonl")
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		if b, err := os.ReadFile(ckpt); err == nil && bytes.Count(b, []byte("\n")) >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no checkpointed shard to kill over; stderr:\n%s", dB.stderrText())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	dB.signal(t, syscall.SIGKILL)
+	dB.wait(t)
+
+	// Takeover daemon: the journal replays the job, the checkpoint
+	// resumes, the result must match byte-for-byte.
+	dB2 := spawnServe(t, storeB)
+	e2eWaitDone(t, dB2.addr, jobB.ID, 120*time.Second)
+	got := e2eResult(t, dB2.addr, jobB.ID)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("post-SIGKILL resume differs from uninterrupted run:\n got: %s\nwant: %s", got, want)
+	}
+	dB2.signal(t, syscall.SIGTERM)
+	if exit := dB2.wait(t); exit != 0 {
+		t.Fatalf("takeover daemon drain exited %d", exit)
+	}
+}
+
+// TestServeE2ESecondSignalForceExits: the first SIGTERM starts a drain
+// that patiently waits out the in-flight job; the second one is the
+// operator overruling that patience — exit code 3, immediately.
+func TestServeE2ESecondSignalForceExits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e daemon test in -short mode")
+	}
+	store := filepath.Join(t.TempDir(), "store")
+	d := spawnServe(t, store, "-drain-grace", "120s")
+	_, job := e2eSubmit(t, d.addr, 1)
+
+	// Wait until the job is actually running so the drain has something
+	// to wait for.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(fmt.Sprintf("http://%s/v1/jobs/%s", d.addr, job.ID))
+		var cur e2eJob
+		if err == nil {
+			json.NewDecoder(resp.Body).Decode(&cur)
+			resp.Body.Close()
+		}
+		if cur.State == "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started running (state %q)", cur.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	d.signal(t, syscall.SIGTERM)
+	waitStderr(t, d, "draining", 30*time.Second)
+	d.signal(t, syscall.SIGTERM)
+	if exit := d.wait(t); exit != exitForced {
+		t.Fatalf("second SIGTERM exited %d, want %d; stderr:\n%s", exit, exitForced, d.stderrText())
+	}
+}
+
+func waitStderr(t *testing.T, d *daemon, want string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !strings.Contains(d.stderrText(), want) {
+		if time.Now().After(deadline) {
+			t.Fatalf("stderr never mentioned %q:\n%s", want, d.stderrText())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func assertNoPartialFiles(t *testing.T, dir string) {
+	t.Helper()
+	filepath.WalkDir(dir, func(path string, de fs.DirEntry, err error) error {
+		if err == nil && !de.IsDir() && strings.Contains(de.Name(), ".tmp") {
+			t.Errorf("partial file left behind: %s", path)
+		}
+		return nil
+	})
+}

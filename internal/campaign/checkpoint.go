@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"memlife/internal/retry"
 	"memlife/internal/telemetry"
 )
 
@@ -28,6 +30,66 @@ type checkpointRecord struct {
 	ElapsedMS   int64   `json:"elapsed_ms"`
 }
 
+// ErrTornTail reports that a journal's final line was not valid JSON —
+// the signature of a process killed mid-append. ScanJournal returns it
+// alongside the successfully scanned prefix; callers that replay
+// journals (checkpoint resume, the server's job queue) treat it as "the
+// last append simply didn't happen".
+var ErrTornTail = errors.New("torn final journal line")
+
+// ScanJournal streams a JSONL journal, invoking fn for every
+// syntactically valid line (1-based line numbers; empty lines are
+// skipped). Its recovery contract is shared by every journal in the
+// repo:
+//
+//   - a missing file is an empty journal (nil error, no calls);
+//   - a malformed *final* line is a torn tail from a killed process:
+//     the valid prefix is delivered and the scan returns ErrTornTail,
+//     which replaying callers may ignore;
+//   - a malformed *interior* line is corruption and aborts with an
+//     error identifying the line;
+//   - an fn error aborts the scan immediately and is returned as-is.
+func ScanJournal(path string, fn func(line int, raw []byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("open journal: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	tornLine := 0 // last malformed line seen; interior if any line follows
+	line := 0
+	for sc.Scan() {
+		line++
+		if tornLine != 0 {
+			// The malformed line was not the last one: corruption.
+			return fmt.Errorf("journal %s line %d: invalid JSON before end of file (corrupt journal)", path, tornLine)
+		}
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		if !json.Valid(raw) {
+			tornLine = line
+			continue
+		}
+		if err := fn(line, raw); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("read journal %s: %w", path, err)
+	}
+	if tornLine != 0 {
+		return fmt.Errorf("journal %s line %d: %w", path, tornLine, ErrTornTail)
+	}
+	return nil
+}
+
 // loadCheckpoint reads a journal and returns the completed shards of
 // the campaign identified by fingerprint, keyed by shard index. A
 // missing file is an empty journal. Records from other campaigns are
@@ -35,37 +97,14 @@ type checkpointRecord struct {
 // final line is tolerated (a killed run may have died mid-append), a
 // malformed interior line is corruption and an error.
 func loadCheckpoint(path, fingerprint string) (map[int]ShardResult, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		if errors.Is(err, fs.ErrNotExist) {
-			return map[int]ShardResult{}, nil
-		}
-		return nil, fmt.Errorf("campaign: open checkpoint: %w", err)
-	}
-	defer f.Close()
-
 	done := make(map[int]ShardResult)
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	var pendingErr error
-	line := 0
-	for sc.Scan() {
-		line++
-		if pendingErr != nil {
-			// The malformed line was not the last one: corruption.
-			return nil, pendingErr
-		}
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
-		}
+	err := ScanJournal(path, func(line int, raw []byte) error {
 		var rec checkpointRecord
 		if err := json.Unmarshal(raw, &rec); err != nil {
-			pendingErr = fmt.Errorf("campaign: checkpoint %s line %d: %w", path, line, err)
-			continue
+			return fmt.Errorf("campaign: checkpoint %s line %d: %w", path, line, err)
 		}
 		if rec.Fingerprint != fingerprint {
-			return nil, fmt.Errorf("campaign: checkpoint %s line %d belongs to a different campaign (fingerprint %s, want %s) — delete it or point -checkpoint elsewhere",
+			return fmt.Errorf("campaign: checkpoint %s line %d belongs to a different campaign (fingerprint %s, want %s) — delete it or point -checkpoint elsewhere",
 				path, line, rec.Fingerprint, fingerprint)
 		}
 		done[rec.Index] = ShardResult{
@@ -77,13 +116,28 @@ func loadCheckpoint(path, fingerprint string) (map[int]ShardResult, error) {
 			},
 			Metrics: rec.Metrics,
 		}
+		return nil
+	})
+	if err != nil {
+		// A trailing malformed line is a torn final append from a killed
+		// run: that shard simply re-runs.
+		if errors.Is(err, ErrTornTail) {
+			return done, nil
+		}
+		return nil, err
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("campaign: read checkpoint: %w", err)
-	}
-	// A trailing malformed line is a torn final append from a killed
-	// run: that shard simply re-runs.
 	return done, nil
+}
+
+// journalRetry is the transient-I/O budget of every checkpoint append:
+// short, capped, and deterministic (the jitter stream is seeded by the
+// policy, not the clock).
+var journalRetry = retry.Policy{
+	MaxAttempts: 3,
+	BaseDelay:   2 * time.Millisecond,
+	MaxDelay:    20 * time.Millisecond,
+	Jitter:      0.5,
+	Seed:        1,
 }
 
 // journal appends completed-shard records to the checkpoint file,
@@ -116,10 +170,39 @@ func (j *journal) append(rec checkpointRecord) error {
 	if j.fsyncNs != nil {
 		defer func(t0 time.Time) { j.fsyncNs.Observe(float64(time.Since(t0))) }(time.Now())
 	}
-	if _, err := j.f.Write(b); err != nil {
+	if err := AppendJournalLine(j.f, b); err != nil {
 		return fmt.Errorf("campaign: journal shard %d: %w", rec.Index, err)
 	}
-	return j.f.Sync()
+	return nil
+}
+
+// AppendJournalLine writes one newline-terminated record and fsyncs
+// it, retrying transient failures under a short capped-backoff budget.
+// A failed write may have landed a partial line, which a later
+// successful append would turn into *interior* corruption —
+// unrecoverable by the ScanJournal torn-tail rule — so each retry
+// first truncates the file back to the length it had before the
+// attempt, restoring the append-only invariant that the journal is a
+// sequence of whole lines plus at most one torn tail. Shared by the
+// checkpoint journal and the serve daemon's job journal; callers
+// serialize concurrent appends themselves.
+func AppendJournalLine(f *os.File, b []byte) error {
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	start := st.Size()
+	return journalRetry.Do(context.Background(), func() error {
+		if _, err := f.Write(b); err != nil {
+			if terr := f.Truncate(start); terr != nil {
+				// Can't roll back the partial write: give up now rather
+				// than risk interior corruption on the next attempt.
+				return retry.Permanent(fmt.Errorf("%v (rollback failed: %w)", err, terr))
+			}
+			return err
+		}
+		return f.Sync()
+	})
 }
 
 func (j *journal) Close() error {

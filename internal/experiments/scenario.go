@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
 	"io"
 	"strings"
 
+	"memlife/internal/campaign"
 	"memlife/internal/spec"
 )
 
@@ -27,6 +29,63 @@ func ConfigFingerprint(fast bool) (string, error) {
 	}
 	sum := sha256.Sum256([]byte(strings.Join(parts, "|")))
 	return hex.EncodeToString(sum[:8]), nil
+}
+
+// ScenarioExperiment is the experiment name under which an ad-hoc
+// scenario spec runs through the campaign engine (see ScenarioResolver).
+const ScenarioExperiment = "scenario"
+
+// ScenarioMetrics runs the resolved spec's lifetime study once at the
+// options' seed and reduces it to scalar campaign metrics — the serve
+// daemon's unit of work. The seed override (opt.Seed) replaces the
+// spec's run.seed, so campaign shards of the same spec draw distinct,
+// deterministic seed streams exactly like registered experiments do.
+func ScenarioMetrics(s spec.Spec, opt Options) (map[string]float64, error) {
+	s.Run.Seed = opt.Seed
+	s.Run.Workers = opt.Workers
+	opt.Fast = s.Run.Fast
+
+	b, err := BundleForSpec(s, opt)
+	if err != nil {
+		return nil, err
+	}
+	target, err := specTarget(b, s)
+	if err != nil {
+		return nil, err
+	}
+	res, err := runSpec(b, s, opt, target)
+	if err != nil {
+		return nil, err
+	}
+	failed := 0.0
+	if res.Failed {
+		failed = 1
+	}
+	return map[string]float64{
+		"lifetime_apps": float64(res.Lifetime),
+		"final_acc":     res.FinalAcc,
+		"cycles":        float64(len(res.Records)),
+		"failed":        failed,
+		"target_acc":    target,
+	}, nil
+}
+
+// ScenarioResolver adapts one resolved scenario spec to the campaign
+// engine: the single experiment name ScenarioExperiment maps to a
+// runner that executes the spec at the shard's derived seed. This is
+// what lets the serve daemon reuse the campaign machinery — bounded
+// workers, fsynced checkpoints, byte-identical aggregation, crash-safe
+// resume — for arbitrary submitted specs that have no registry entry.
+func ScenarioResolver(s spec.Spec) campaign.Resolver {
+	return func(id string) (campaign.RunnerFunc, bool) {
+		if id != ScenarioExperiment {
+			return nil, false
+		}
+		return func(ctx context.Context, sh campaign.Shard, log io.Writer) (campaign.Metrics, error) {
+			m, err := ScenarioMetrics(s, Options{Seed: sh.Seed, Log: log, Ctx: ctx, Workers: s.Run.Workers})
+			return campaign.Metrics(m), err
+		}, true
+	}
 }
 
 // RunScenario executes one resolved scenario spec end to end: build (or

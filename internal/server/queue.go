@@ -1,0 +1,344 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"memlife/internal/campaign"
+)
+
+// JobState is the lifecycle state of a submitted job.
+//
+// The durable state machine (journal ops in parentheses):
+//
+//	          (submit)            (done)
+//	queued ───────────► running ─────────► done
+//	  ▲                    │   (failed)
+//	  │   crash / drain    ├─────────────► failed ──(submit)──► queued
+//	  └────────────────────┘
+//
+// Only submit/done/failed transitions are journaled; "running" is
+// in-memory, so a crash reverts every in-flight job to queued and the
+// next boot re-runs it (resuming its campaign checkpoint).
+type JobState string
+
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Job is one accepted unit of work: a resolved scenario spec plus its
+// Monte Carlo sample size, identified by the content-addressed key
+// spec.JobFingerprint(seeds).
+type Job struct {
+	// ID is the job's content-addressed key (and its result store key).
+	ID string `json:"id"`
+	// Spec is the canonical resolved scenario spec.
+	Spec json.RawMessage `json:"spec"`
+	// Seeds is the Monte Carlo sample size (>= 1).
+	Seeds int `json:"seeds"`
+	// State is the current lifecycle state.
+	State JobState `json:"state"`
+	// Error holds the terminal failure message of a failed job.
+	Error string `json:"error,omitempty"`
+	// Attempts counts execution attempts (including retries).
+	Attempts int `json:"attempts,omitempty"`
+}
+
+// queueRecord is one line of the job journal.
+type queueRecord struct {
+	Op    string          `json:"op"` // "submit", "done" or "failed"
+	ID    string          `json:"id"`
+	Seeds int             `json:"seeds,omitempty"`
+	Spec  json.RawMessage `json:"spec,omitempty"`
+	Error string          `json:"error,omitempty"`
+}
+
+// errQueueFull rejects a submit when the bounded queue is at capacity;
+// the API layer translates it into 429 + Retry-After.
+var errQueueFull = errors.New("server: job queue is full")
+
+// queue is the durable bounded job queue. Accepted jobs are journaled
+// (write + fsync) *before* Submit returns, so an ACKed job survives a
+// SIGKILL at any point; terminal transitions (done/failed) are
+// journaled the same way. Opening a queue replays the journal: jobs
+// with a submit but no terminal record — including jobs that were
+// mid-run when the process died — come back as queued.
+type queue struct {
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	pending []string // FIFO of queued job ids
+	cap     int
+	f       *os.File
+	notify  chan struct{}
+}
+
+// openQueue replays the journal at path and opens it for appending.
+// A torn final line (killed mid-append) is discarded: the submit it
+// recorded was never ACKed, the terminal transition it recorded will
+// simply re-run its job.
+func openQueue(path string, capacity int) (*queue, error) {
+	q := &queue{
+		jobs:   make(map[string]*Job),
+		cap:    capacity,
+		notify: make(chan struct{}, 1),
+	}
+	err := campaign.ScanJournal(path, func(line int, raw []byte) error {
+		var rec queueRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return fmt.Errorf("server: job journal %s line %d: %w", path, line, err)
+		}
+		return q.replay(rec, path, line)
+	})
+	if err != nil && !errors.Is(err, campaign.ErrTornTail) {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("server: open job journal: %w", err)
+	}
+	q.f = f
+	return q, nil
+}
+
+// replay applies one journal record to the in-memory state, in journal
+// order: submit enqueues (or re-enqueues a terminal job), done/failed
+// settle. Unknown ops and terminal records for unknown jobs are
+// corruption — the journal is written only by this package.
+func (q *queue) replay(rec queueRecord, path string, line int) error {
+	switch rec.Op {
+	case "submit":
+		if !validKey(rec.ID) || rec.Seeds < 1 || len(rec.Spec) == 0 {
+			return fmt.Errorf("server: job journal %s line %d: malformed submit record", path, line)
+		}
+		j, ok := q.jobs[rec.ID]
+		if ok && (j.State == JobQueued || j.State == JobRunning) {
+			return nil // duplicate submit of a live job: no-op
+		}
+		q.jobs[rec.ID] = &Job{ID: rec.ID, Spec: rec.Spec, Seeds: rec.Seeds, State: JobQueued}
+		q.pending = append(q.pending, rec.ID)
+		return nil
+	case "done", "failed":
+		j, ok := q.jobs[rec.ID]
+		if !ok {
+			return fmt.Errorf("server: job journal %s line %d: %s for unknown job %s", path, line, rec.Op, rec.ID)
+		}
+		q.unqueue(rec.ID)
+		if rec.Op == "done" {
+			j.State = JobDone
+			j.Error = ""
+		} else {
+			j.State = JobFailed
+			j.Error = rec.Error
+		}
+		return nil
+	default:
+		return fmt.Errorf("server: job journal %s line %d: unknown op %q", path, line, rec.Op)
+	}
+}
+
+// unqueue removes id from the pending FIFO (no-op when absent).
+func (q *queue) unqueue(id string) {
+	for i, p := range q.pending {
+		if p == id {
+			q.pending = append(q.pending[:i], q.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// journal appends one record durably; callers hold q.mu.
+func (q *queue) journal(rec queueRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("server: journal job %s: %w", rec.ID, err)
+	}
+	if err := campaign.AppendJournalLine(q.f, append(b, '\n')); err != nil {
+		return fmt.Errorf("server: journal job %s: %w", rec.ID, err)
+	}
+	return nil
+}
+
+// Submit accepts (or dedupes) a job. The returned snapshot reflects
+// the job after the call; created reports whether a new queue entry
+// was made (false: the submission deduped onto a live or settled job).
+// New entries are journaled and fsynced before Submit returns — the
+// durable-before-ACK contract.
+func (q *queue) Submit(id string, spec json.RawMessage, seeds int) (job Job, created bool, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if j, ok := q.jobs[id]; ok {
+		switch j.State {
+		case JobQueued, JobRunning, JobDone:
+			// Live or already served: dedupe, nothing to journal.
+			return *j, false, nil
+		case JobFailed:
+			// Terminal failure: an explicit resubmit re-queues it.
+		}
+	}
+	if q.liveCount() >= q.cap {
+		return Job{}, false, errQueueFull
+	}
+	rec := queueRecord{Op: "submit", ID: id, Seeds: seeds, Spec: spec}
+	if err := q.journal(rec); err != nil {
+		return Job{}, false, err
+	}
+	j := &Job{ID: id, Spec: spec, Seeds: seeds, State: JobQueued}
+	q.jobs[id] = j
+	q.pending = append(q.pending, id)
+	q.wake()
+	return *j, true, nil
+}
+
+// liveCount is the number of jobs consuming queue capacity; callers
+// hold q.mu.
+func (q *queue) liveCount() int {
+	n := 0
+	for _, j := range q.jobs {
+		if j.State == JobQueued || j.State == JobRunning {
+			n++
+		}
+	}
+	return n
+}
+
+func (q *queue) wake() {
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Dequeue pops the oldest queued job and marks it running, blocking
+// until one is available or stop closes. ok=false means the queue is
+// stopping. A closed stop wins over pending work — a draining worker
+// must not pick up the very job it just requeued.
+func (q *queue) Dequeue(stop <-chan struct{}) (Job, bool) {
+	for {
+		select {
+		case <-stop:
+			return Job{}, false
+		default:
+		}
+		q.mu.Lock()
+		if len(q.pending) > 0 {
+			id := q.pending[0]
+			q.pending = q.pending[1:]
+			j := q.jobs[id]
+			j.State = JobRunning
+			job := *j
+			q.mu.Unlock()
+			return job, true
+		}
+		q.mu.Unlock()
+		select {
+		case <-q.notify:
+		case <-stop:
+			return Job{}, false
+		}
+	}
+}
+
+// MarkDone settles a job as done, journaling the transition durably.
+func (q *queue) MarkDone(id string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if err := q.journal(queueRecord{Op: "done", ID: id}); err != nil {
+		return err
+	}
+	if j, ok := q.jobs[id]; ok {
+		j.State = JobDone
+		j.Error = ""
+	}
+	return nil
+}
+
+// MarkFailed settles a job as failed (retry budget exhausted),
+// journaling the transition durably.
+func (q *queue) MarkFailed(id, msg string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if err := q.journal(queueRecord{Op: "failed", ID: id, Error: msg}); err != nil {
+		return err
+	}
+	if j, ok := q.jobs[id]; ok {
+		j.State = JobFailed
+		j.Error = msg
+	}
+	return nil
+}
+
+// Requeue puts a drained in-flight job back at the head of the queue,
+// in memory only: its submit record is already durable, so after a
+// restart it would be queued anyway — this mirrors that state without
+// another journal write.
+func (q *queue) Requeue(id string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok || j.State != JobRunning {
+		return
+	}
+	j.State = JobQueued
+	q.pending = append([]string{id}, q.pending...)
+	q.wake()
+}
+
+// NoteAttempt bumps a job's execution-attempt counter (display
+// bookkeeping; never journaled).
+func (q *queue) NoteAttempt(id string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if j, ok := q.jobs[id]; ok {
+		j.Attempts++
+	}
+}
+
+// Get returns a snapshot of one job.
+func (q *queue) Get(id string) (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// Jobs returns snapshots of every known job, unordered.
+func (q *queue) Jobs() []Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Job, 0, len(q.jobs))
+	for _, j := range q.jobs {
+		out = append(out, *j)
+	}
+	return out
+}
+
+// Depth returns (queued, running) counts for telemetry.
+func (q *queue) Depth() (queued, running int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, j := range q.jobs {
+		switch j.State {
+		case JobQueued:
+			queued++
+		case JobRunning:
+			running++
+		}
+	}
+	return
+}
+
+// Close closes the journal file.
+func (q *queue) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.f.Close()
+}

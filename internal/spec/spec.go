@@ -343,6 +343,23 @@ func (s Spec) Fingerprint() (string, error) {
 	return hex.EncodeToString(sum[:8]), nil
 }
 
+// JobFingerprint keys the served result store: the spec fingerprint
+// for a single-seed job, extended with the Monte Carlo seed count when
+// a job asks for more than one. Two submissions share a key iff they
+// resolve to the same parameters *and* the same sample size — which is
+// exactly when their results are interchangeable bytes, making the key
+// safe for content addressing.
+func (s Spec) JobFingerprint(seeds int) (string, error) {
+	fp, err := s.Fingerprint()
+	if err != nil {
+		return "", err
+	}
+	if seeds <= 1 {
+		return fp, nil
+	}
+	return fmt.Sprintf("%s-s%d", fp, seeds), nil
+}
+
 // FixtureFingerprint hashes only the parameters that shape the trained
 // fixture bundle: the fixture section (network choice and skew
 // constants) plus the fast flag and seed. Experiments differing only in

@@ -9,6 +9,30 @@ import (
 	"time"
 )
 
+// MetricsHandler serves the canonical JSON snapshot of reg (live
+// values). reg may be nil (serves an empty snapshot). Exposed on its
+// own so servers composing a larger mux (the serve daemon) can mount
+// it next to their own endpoints.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := reg.Snapshot().WriteJSON(w); err != nil {
+			// Headers are gone; nothing useful left to do.
+			return
+		}
+	})
+}
+
+// AddPprofHandlers mounts the net/http/pprof profile endpoints under
+// /debug/pprof/ on mux.
+func AddPprofHandlers(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
 // DebugMux returns the introspection HTTP handler:
 //
 //	/metrics/json  — canonical JSON snapshot of reg (live values)
@@ -23,18 +47,8 @@ func DebugMux(reg *Registry) *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("/metrics/json", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		if err := reg.Snapshot().WriteJSON(w); err != nil {
-			// Headers are gone; nothing useful left to do.
-			return
-		}
-	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics/json", MetricsHandler(reg))
+	AddPprofHandlers(mux)
 	return mux
 }
 
