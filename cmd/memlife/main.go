@@ -23,6 +23,9 @@
 // Carlo campaign: every (experiment, seed) pair becomes one shard on a
 // bounded worker pool, completed shards are journaled to a checkpoint,
 // and the aggregated JSON is byte-identical whatever the worker count.
+// -stream switches the campaign to online constant-memory aggregation
+// (identical statistics bits, plus quantile sketches, minus the
+// per-shard list).
 //
 // With -scenario a custom scenario spec (see internal/spec and
 // examples/scenarios/) is resolved defaults -> file -> flags, validated
@@ -103,6 +106,7 @@ type cliConfig struct {
 	jsonOut     string
 	checkpoint  string
 	resume      bool
+	stream      bool
 
 	scenario string
 	dumpSpec bool
@@ -157,6 +161,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&c.jsonOut, "json", "", "campaign: write aggregated results as canonical JSON to this file")
 	fs.StringVar(&c.checkpoint, "checkpoint", "", "campaign: shard journal path (default <json>.ckpt.jsonl)")
 	fs.BoolVar(&c.resume, "resume", false, "campaign: skip shards already journaled in the checkpoint")
+	fs.BoolVar(&c.stream, "stream", false, "campaign: aggregate shard metrics online in constant memory (adds quantiles, drops the per-shard list from the JSON)")
 	fs.StringVar(&c.scenario, "scenario", "", "run one scenario spec file (JSON, see examples/scenarios/); flags set explicitly override the file")
 	fs.BoolVar(&c.dumpSpec, "dump-spec", false, "resolve the scenario spec (defaults, -scenario file, flags) and print it as JSON instead of running")
 	fs.BoolVar(&c.version, "version", false, "print the build version and exit")
@@ -215,7 +220,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 // dispatch routes the parsed invocation to its mode.
 func dispatch(ctx context.Context, c cliConfig, fs *flag.FlagSet, stdout, stderr io.Writer) int {
-	campaignMode := c.seeds > 1 || c.jsonOut != "" || c.resume || c.checkpoint != ""
+	campaignMode := c.seeds > 1 || c.jsonOut != "" || c.resume || c.checkpoint != "" || c.stream
 	specMode := c.scenario != "" || c.dumpSpec
 	switch {
 	case specMode:
@@ -524,6 +529,7 @@ func runCampaign(ctx context.Context, c cliConfig, stdout, stderr io.Writer) int
 		Resolve:        experiments.CampaignResolver(),
 		CheckpointPath: ckpt,
 		Resume:         c.resume,
+		Stream:         c.stream,
 	}
 	if c.verb {
 		cfg.Reporter = campaign.NewLogReporter(stderr)

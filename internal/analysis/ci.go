@@ -19,27 +19,19 @@ type MeanCI struct {
 // MeanCI95 computes the sample mean, sample standard deviation and the
 // 95% confidence half-width of the mean. It panics on empty input; a
 // single observation yields Std = CI95 = 0.
+//
+// It is a thin wrapper over the Online streaming accumulator: buffered
+// and streaming aggregation share one implementation, so their results
+// are bit-identical by construction (see Online).
 func MeanCI95(data []float64) MeanCI {
 	if len(data) == 0 {
 		panic("analysis: MeanCI95 of empty data")
 	}
-	n := len(data)
-	sum := 0.0
+	var o Online
 	for _, v := range data {
-		sum += v
+		o.Add(v)
 	}
-	out := MeanCI{N: n, Mean: sum / float64(n)}
-	if n < 2 {
-		return out
-	}
-	varSum := 0.0
-	for _, v := range data {
-		d := v - out.Mean
-		varSum += d * d
-	}
-	out.Std = math.Sqrt(varSum / float64(n-1))
-	out.CI95 = tCrit95(n-1) * out.Std / math.Sqrt(float64(n))
-	return out
+	return o.MeanCI()
 }
 
 // tCrit95 returns the two-sided 95% critical value of the Student-t

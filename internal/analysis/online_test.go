@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// ulpDiff returns the distance in representable float64 steps between
+// a and b (0 means bit-identical).
+func ulpDiff(a, b float64) uint64 {
+	ia, ib := int64(math.Float64bits(a)), int64(math.Float64bits(b))
+	// Map to a monotone integer line (two's-complement trick for the
+	// sign bit) so adjacent floats differ by 1.
+	if ia < 0 {
+		ia = math.MinInt64 - ia
+	}
+	if ib < 0 {
+		ib = math.MinInt64 - ib
+	}
+	d := ia - ib
+	if d < 0 {
+		d = -d
+	}
+	return uint64(d)
+}
+
+// TestOnlineMatchesBufferedWithinOneULP is the streaming-equivalence
+// contract of the issue: the online mean/CI95 must match the buffered
+// analysis.MeanCI95 to within 1 ulp on randomized inputs. Because
+// MeanCI95 is implemented on the Online accumulator, the match is in
+// fact exact (0 ulps) — asserted field by field.
+func TestOnlineMatchesBufferedWithinOneULP(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sizes := []int{1, 2, 3, 7, 64, 1000, 4096}
+	scales := []float64{1, 1e-9, 1e9}
+	for trial := 0; trial < 200; trial++ {
+		n := sizes[trial%len(sizes)]
+		scale := scales[trial%len(scales)]
+		data := make([]float64, n)
+		for i := range data {
+			// Mix signs and magnitudes, with occasional offsets that
+			// stress catastrophic cancellation in naive variance.
+			data[i] = (rng.NormFloat64() + 100*float64(trial%3)) * scale
+		}
+		var o Online
+		for _, v := range data {
+			o.Add(v)
+		}
+		buf := MeanCI95(data)
+		str := o.MeanCI()
+		if buf.N != str.N {
+			t.Fatalf("trial %d: N mismatch: buffered %d streaming %d", trial, buf.N, str.N)
+		}
+		for _, c := range []struct {
+			name     string
+			buf, str float64
+		}{
+			{"mean", buf.Mean, str.Mean},
+			{"std", buf.Std, str.Std},
+			{"ci95", buf.CI95, str.CI95},
+		} {
+			if d := ulpDiff(c.buf, c.str); d > 1 {
+				t.Errorf("trial %d (n=%d): %s differs by %d ulps: buffered %v streaming %v",
+					trial, n, c.name, d, c.buf, c.str)
+			}
+		}
+	}
+}
+
+func TestOnlineMinMax(t *testing.T) {
+	var o Online
+	for _, v := range []float64{3, -1, 4, -1, 5} {
+		o.Add(v)
+	}
+	if o.N() != 5 || o.Min() != -1 || o.Max() != 5 {
+		t.Fatalf("got n=%d min=%v max=%v, want 5/-1/5", o.N(), o.Min(), o.Max())
+	}
+}
+
+func TestOnlineSingleObservation(t *testing.T) {
+	var o Online
+	o.Add(42)
+	ci := o.MeanCI()
+	if ci.N != 1 || ci.Mean != 42 || ci.Std != 0 || ci.CI95 != 0 {
+		t.Fatalf("single observation: got %+v", ci)
+	}
+}
+
+func TestOnlineEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MeanCI of an empty accumulator must panic")
+		}
+	}()
+	var o Online
+	o.MeanCI()
+}

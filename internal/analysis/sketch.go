@@ -1,0 +1,134 @@
+package analysis
+
+import "math"
+
+// Quantile-sketch geometry. Buckets are geometric with ratio
+// sketchGamma over |v| in [sketchMinAbs, sketchMaxAbs), mirrored for
+// negative values, plus one exact bucket for |v| < sketchMinAbs
+// (reported as 0). Reporting the geometric midpoint of a bucket bounds
+// the relative error of any in-range quantile estimate by
+// sqrt(sketchGamma) - 1 (≈ 2.47%).
+const (
+	sketchGamma  = 1.05
+	sketchMinAbs = 1e-12
+	sketchMaxAbs = 1e15
+)
+
+var (
+	sketchLnGamma = math.Log(sketchGamma)
+	// sketchBuckets covers [minAbs, maxAbs): ceil(ln(max/min)/ln(gamma)).
+	sketchBuckets = int(math.Ceil(math.Log(sketchMaxAbs/sketchMinAbs) / sketchLnGamma))
+)
+
+// SketchRelError is the guaranteed relative error bound of Quantile for
+// values with |v| in [1e-12, 1e15).
+func SketchRelError() float64 { return math.Sqrt(sketchGamma) - 1 }
+
+// Sketch is a fixed-bucket streaming quantile sketch: geometric
+// (HDR-histogram style) buckets with integer counts. Memory is
+// O(buckets) — independent of the number of observations — and because
+// the state is integer counts, merged or reordered feeds produce
+// identical quantiles: the sketch is deterministic by construction.
+//
+// The zero value is not ready for use; call NewSketch.
+type Sketch struct {
+	pos  []int64 // counts for v >= sketchMinAbs
+	neg  []int64 // counts for v <= -sketchMinAbs
+	zero int64   // |v| < sketchMinAbs
+	n    int64
+}
+
+// NewSketch returns an empty sketch (~2 x 1300 buckets of int64).
+func NewSketch() *Sketch {
+	return &Sketch{
+		pos: make([]int64, sketchBuckets),
+		neg: make([]int64, sketchBuckets),
+	}
+}
+
+// bucketIdx maps |v| >= sketchMinAbs to its bucket, clamping
+// out-of-range magnitudes to the extreme buckets.
+func bucketIdx(abs float64) int {
+	i := int(math.Floor(math.Log(abs/sketchMinAbs) / sketchLnGamma))
+	if i < 0 {
+		return 0
+	}
+	if i >= sketchBuckets {
+		return sketchBuckets - 1
+	}
+	return i
+}
+
+// bucketMid returns the geometric midpoint of bucket i.
+func bucketMid(i int) float64 {
+	return sketchMinAbs * math.Pow(sketchGamma, float64(i)+0.5)
+}
+
+// Add records one observation. NaN is ignored.
+func (s *Sketch) Add(v float64) { s.AddN(v, 1) }
+
+// AddN records count observations of value v in O(1); count <= 0 and
+// NaN are ignored.
+func (s *Sketch) AddN(v float64, count int64) {
+	if count <= 0 || math.IsNaN(v) {
+		return
+	}
+	s.n += count
+	switch {
+	case v >= sketchMinAbs:
+		s.pos[bucketIdx(v)] += count
+	case v <= -sketchMinAbs:
+		s.neg[bucketIdx(-v)] += count
+	default:
+		s.zero += count
+	}
+}
+
+// N returns the number of observations recorded.
+func (s *Sketch) N() int64 { return s.n }
+
+// Quantile estimates the q-quantile (q in [0, 1]) using the same rank
+// convention as sorting the sample and indexing ceil(q*n)-1 (clamped):
+// the estimate lands in the same bucket as that order statistic, so
+// its relative error is bounded by SketchRelError. Returns 0 for an
+// empty sketch.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	// Walk the value axis in ascending order: negatives from most
+	// negative (largest magnitude) down, then zero, then positives.
+	var cum int64
+	for i := sketchBuckets - 1; i >= 0; i-- {
+		if c := s.neg[i]; c > 0 {
+			cum += c
+			if cum >= rank {
+				return -bucketMid(i)
+			}
+		}
+	}
+	cum += s.zero
+	if cum >= rank {
+		return 0
+	}
+	for i := 0; i < sketchBuckets; i++ {
+		if c := s.pos[i]; c > 0 {
+			cum += c
+			if cum >= rank {
+				return bucketMid(i)
+			}
+		}
+	}
+	// Unreachable: cum == n >= rank by the time the walk finishes.
+	return bucketMid(sketchBuckets - 1)
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile mirrors Sketch.Quantile's rank convention on a sorted
+// copy of the sample: index ceil(q*n)-1, clamped.
+func exactQuantile(sorted []float64, q float64) float64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestSketchErrorBound asserts the advertised guarantee: for values in
+// the sketch's range, every quantile estimate is within
+// SketchRelError of the exact order statistic, across distributions
+// with very different shapes.
+func TestSketchErrorBound(t *testing.T) {
+	bound := SketchRelError() + 1e-12
+	qs := []float64{0.01, 0.1, 0.5, 0.9, 0.99, 1}
+	gens := map[string]func(*rand.Rand) float64{
+		"lognormal": func(r *rand.Rand) float64 { return math.Exp(r.NormFloat64() * 3) },
+		"uniform":   func(r *rand.Rand) float64 { return 1 + 99*r.Float64() },
+		"signed":    func(r *rand.Rand) float64 { return r.NormFloat64() * 1e3 },
+		"heavytail": func(r *rand.Rand) float64 { return math.Pow(r.Float64()+1e-6, -2) },
+	}
+	for name, gen := range gens {
+		rng := rand.New(rand.NewSource(11))
+		s := NewSketch()
+		data := make([]float64, 20000)
+		for i := range data {
+			data[i] = gen(rng)
+			s.Add(data[i])
+		}
+		sort.Float64s(data)
+		for _, q := range qs {
+			exact := exactQuantile(data, q)
+			got := s.Quantile(q)
+			relErr := math.Abs(got-exact) / math.Abs(exact)
+			if math.Abs(exact) < sketchMinAbs {
+				relErr = math.Abs(got - exact)
+			}
+			if relErr > bound {
+				t.Errorf("%s q=%v: estimate %v vs exact %v (rel err %.4f > bound %.4f)",
+					name, q, got, exact, relErr, bound)
+			}
+		}
+	}
+}
+
+// TestSketchOrderIndependent: integer-count state means feeding the
+// same multiset in any order yields identical quantiles.
+func TestSketchOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]float64, 5000)
+	for i := range data {
+		data[i] = rng.NormFloat64() * 100
+	}
+	a, b := NewSketch(), NewSketch()
+	for _, v := range data {
+		a.Add(v)
+	}
+	for i := len(data) - 1; i >= 0; i-- {
+		b.Add(data[i])
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.99} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("q=%v: order-dependent quantile: %v vs %v", q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+}
+
+func TestSketchZeroAndEmpty(t *testing.T) {
+	s := NewSketch()
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("empty sketch quantile: got %v, want 0", got)
+	}
+	s.Add(0)
+	s.Add(1e-300) // below range: exact zero bucket
+	if got := s.Quantile(1); got != 0 {
+		t.Fatalf("zero-bucket quantile: got %v, want 0", got)
+	}
+	if s.N() != 2 {
+		t.Fatalf("N: got %d, want 2", s.N())
+	}
+}
+
+func TestSketchAddNMatchesRepeatedAdd(t *testing.T) {
+	a, b := NewSketch(), NewSketch()
+	a.AddN(7.5, 1000)
+	for i := 0; i < 1000; i++ {
+		b.Add(7.5)
+	}
+	if a.N() != b.N() || a.Quantile(0.5) != b.Quantile(0.5) {
+		t.Fatalf("AddN diverges from repeated Add: n %d vs %d", a.N(), b.N())
+	}
+	a.AddN(1, -5) // ignored
+	a.AddN(math.NaN(), 3)
+	if a.N() != 1000 {
+		t.Fatalf("negative/NaN AddN must be ignored; n=%d", a.N())
+	}
+}
+
+// TestSketchAddZeroAlloc pins the hot path at zero allocations — the
+// property the campaign streaming aggregator's memory bound rests on.
+func TestSketchAddZeroAlloc(t *testing.T) {
+	s := NewSketch()
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Add(3.7)
+		s.AddN(-12.5, 7)
+	})
+	if allocs != 0 {
+		t.Fatalf("Sketch.Add allocates: %v allocs/op", allocs)
+	}
+}

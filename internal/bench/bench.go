@@ -23,6 +23,7 @@ import (
 	"memlife/internal/aging"
 	"memlife/internal/crossbar"
 	"memlife/internal/device"
+	"memlife/internal/fleet"
 	"memlife/internal/telemetry"
 	"memlife/internal/tensor"
 )
@@ -194,6 +195,27 @@ func kernels() ([]kernel, error) {
 			for i := 0; i < b.N; i++ {
 				c.Inc()
 				h.Observe(float64(i))
+			}
+		}},
+		{name: "fleet/tick", run: func(b *testing.B) {
+			// One event-clock tick of a small fleet under the busiest
+			// balancer. The loop runs past the configured horizon —
+			// Tick keeps serving beyond cfg.Ticks — so b.N is
+			// unbounded. The gate pins 0 allocs/op: the event heap,
+			// routing scratch, sketches and RNG are preallocated at
+			// New (see fleet.TestTickSteadyStateZeroAlloc).
+			cfg := fleet.Defaults(10, true)
+			cfg.Balancer = fleet.BalLeastAged
+			sim, err := fleet.New(cfg, device.Params32(), aging.DefaultModel(), 300, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 100; i++ {
+				sim.Tick() // warm past first-touch growth
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.Tick()
 			}
 		}},
 		{name: "mapweights", run: func(b *testing.B) {

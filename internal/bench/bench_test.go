@@ -109,7 +109,7 @@ func TestSpeedup(t *testing.T) {
 }
 
 func TestNamesCoverTheContract(t *testing.T) {
-	want := []string{"effweights/cached", "effweights/naive", "mapweights", "matmul", "telemetry/counter_disabled", "vmm/cached", "vmm/naive", "vmmbatch"}
+	want := []string{"effweights/cached", "effweights/naive", "fleet/tick", "mapweights", "matmul", "telemetry/counter_disabled", "vmm/cached", "vmm/naive", "vmmbatch"}
 	got := Names()
 	sort.Strings(want)
 	if len(got) != len(want) {

@@ -21,6 +21,20 @@ type Aggregate struct {
 	CI95       float64 `json:"ci95"`
 	Min        float64 `json:"min"`
 	Max        float64 `json:"max"`
+	// Quantiles is the sketch summary of the metric's distribution,
+	// present only for streaming campaigns (Config.Stream): the
+	// buffered path keeps its historical byte-exact output.
+	Quantiles *Quantiles `json:"quantiles,omitempty"`
+}
+
+// Quantiles summarizes a metric's distribution from the streaming
+// quantile sketch. Estimates carry the sketch's relative error bound
+// (analysis.SketchRelError, ≈ 2.5%).
+type Quantiles struct {
+	P01 float64 `json:"p01"`
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
 }
 
 // aggregate reduces shard metrics to per-(experiment, metric)

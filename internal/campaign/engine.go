@@ -30,6 +30,19 @@ type Config struct {
 	// Log receives the shards' experiment logs, multiplexed line-by-
 	// line with shard prefixes; nil silences them.
 	Log io.Writer
+	// Stream selects constant-memory aggregation: completed shards are
+	// folded into per-metric streaming accumulators (online mean/CI +
+	// quantile sketches) through a bounded reorder window instead of
+	// being buffered, so memory is O(window + metrics x buckets)
+	// rather than O(seeds). The Result then has empty Shards and its
+	// Aggregates carry Quantiles; mean/std/ci95/min/max are
+	// bit-identical to the buffered path (see stream.go).
+	Stream bool
+
+	// testPending, when set, observes the reorder window's occupancy
+	// after each fresh completion (test instrumentation for the memory
+	// bound).
+	testPending func(n int)
 }
 
 // ShardResult is one completed shard with its metrics.
@@ -42,7 +55,8 @@ type ShardResult struct {
 // ordered by index, aggregates ordered by (experiment, metric), and no
 // timing or scheduling information — the same spec produces the same
 // bytes whatever the worker count, completion order, or resume
-// history.
+// history. Streaming campaigns (Config.Stream) keep the same
+// guarantee with Shards empty and per-metric Quantiles attached.
 type Result struct {
 	Fingerprint string        `json:"fingerprint"`
 	Spec        Spec          `json:"spec"`
@@ -130,6 +144,50 @@ func run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 		}
 	}
 
+	// Streaming state: completed shards park in pendingDone until the
+	// drain pointer (next) reaches their index, then fold into agg in
+	// strict index order — the same summation order as the buffered
+	// path, whatever the completion order. The room channel bounds how
+	// far dispatch may run ahead of the drain pointer, capping
+	// pendingDone at the window size. (Resumed shards are preloaded
+	// and drained immediately; loadCheckpoint already held them in
+	// memory, so they don't change the bound's character.)
+	var (
+		agg         *streamAgg
+		pendingDone map[int]ShardResult
+		next        int
+		room        chan struct{}
+	)
+	drainLocked := func() error {
+		for {
+			r, ok := pendingDone[next]
+			if !ok {
+				return nil
+			}
+			s := shards[next]
+			if r.Experiment != s.Experiment || r.Seed != s.Seed {
+				return fmt.Errorf("campaign: checkpoint shard %d is %s seed %d, spec says %s seed %d",
+					next, r.Experiment, r.Seed, s.Experiment, s.Seed)
+			}
+			delete(pendingDone, next)
+			agg.add(r.Experiment, r.Metrics)
+			if _, resumed := done[next]; !resumed && room != nil {
+				<-room // release the window token taken at dispatch (never blocks)
+			}
+			next++
+		}
+	}
+	if cfg.Stream {
+		agg = newStreamAgg()
+		pendingDone = make(map[int]ShardResult, len(done))
+		for idx, r := range done {
+			pendingDone[idx] = r
+		}
+		if err := drainLocked(); err != nil {
+			return nil, err
+		}
+	}
+
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -139,6 +197,13 @@ func run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 	}
 	if workers < 1 {
 		workers = 1
+	}
+	if cfg.Stream {
+		window := 4 * workers
+		if window < 16 {
+			window = 16
+		}
+		room = make(chan struct{}, window)
 	}
 	rep.CampaignStarted(len(shards), len(done), workers)
 
@@ -212,7 +277,19 @@ func run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 					}
 				}
 				mu.Lock()
-				results = append(results, ShardResult{Shard: s, Metrics: m})
+				if cfg.Stream {
+					pendingDone[s.Index] = ShardResult{Shard: s, Metrics: m}
+					if cfg.testPending != nil {
+						cfg.testPending(len(pendingDone))
+					}
+					if err := drainLocked(); err != nil {
+						mu.Unlock()
+						fail(err)
+						return
+					}
+				} else {
+					results = append(results, ShardResult{Shard: s, Metrics: m})
+				}
 				completed++
 				doneN := completed
 				mu.Unlock()
@@ -226,6 +303,15 @@ func run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 	}
 feed:
 	for _, s := range pending {
+		if room != nil {
+			// Take a window token before dispatch; the drain returns it
+			// once this shard folds into the aggregator in index order.
+			select {
+			case room <- struct{}{}:
+			case <-runCtx.Done():
+				break feed
+			}
+		}
 		select {
 		case jobs <- s:
 		case <-runCtx.Done():
@@ -240,6 +326,24 @@ feed:
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("campaign: interrupted (completed shards are checkpointed): %w", err)
+	}
+
+	if cfg.Stream {
+		// Streaming: every shard was folded in index order as it
+		// completed; all that remains is to render the accumulators.
+		if next != len(shards) {
+			return nil, fmt.Errorf("campaign: shard %d missing after run (corrupt checkpoint?)", next)
+		}
+		out := &Result{
+			Fingerprint: fp,
+			Spec:        spec,
+			Shards:      []ShardResult{},
+			Aggregates:  agg.aggregates(),
+			Resumed:     len(shards) - len(pending),
+			Elapsed:     time.Since(start),
+		}
+		rep.CampaignDone(out.Elapsed)
+		return out, nil
 	}
 
 	// Assemble the canonical result: journaled + fresh shards in index

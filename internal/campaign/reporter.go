@@ -70,8 +70,14 @@ func (r *logReporter) ShardDone(worker int, s Shard, elapsed time.Duration, done
 	defer r.mu.Unlock()
 	delete(r.working, worker)
 	line := fmt.Sprintf("campaign: %d/%d done (%s in %s", done, total, s.Label(), elapsed.Round(time.Millisecond))
-	if eta > 0 && done < total {
+	switch {
+	case eta > 0 && done < total:
 		line += fmt.Sprintf(", eta %s", eta.Round(time.Second))
+	case done < total:
+		// Zero-completed-shards window (e.g. every finished shard so
+		// far came from the checkpoint): no throughput sample exists
+		// yet, so say so instead of printing a meaningless value.
+		line += ", eta estimating..."
 	}
 	line += ")"
 	// With telemetry enabled, surface the live crossbar read-cache hit

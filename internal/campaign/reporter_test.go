@@ -75,16 +75,33 @@ func TestLogReporterLifecycle(t *testing.T) {
 	}
 }
 
-// TestLogReporterZeroETAOmitted: before the first completion feeds the
-// throughput estimate, ShardDone receives eta == 0 and must not print a
-// bogus "eta 0s".
-func TestLogReporterZeroETAOmitted(t *testing.T) {
+// TestLogReporterZeroETAEstimating: before the first completion feeds
+// the throughput estimate, ShardDone receives eta == 0 and must report
+// "eta estimating..." — never a bogus "eta 0s".
+func TestLogReporterZeroETAEstimating(t *testing.T) {
 	var buf bytes.Buffer
 	r := NewLogReporter(&buf)
 	r.CampaignStarted(2, 0, 1)
 	r.ShardDone(0, shardFor(0, "alpha", 0), 50*time.Millisecond, 1, 2, 0)
+	out := buf.String()
+	if !strings.Contains(out, "eta estimating...") {
+		t.Fatalf("zero eta with work remaining must print the estimating marker, got:\n%s", out)
+	}
+	if strings.Contains(out, "eta 0s") {
+		t.Fatalf("zero eta must never render as a duration, got:\n%s", out)
+	}
+}
+
+// TestLogReporterZeroETAFinalShard: when the campaign is finished
+// (done == total) there is nothing left to estimate — neither an eta
+// nor the estimating marker may appear.
+func TestLogReporterZeroETAFinalShard(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewLogReporter(&buf)
+	r.CampaignStarted(1, 0, 1)
+	r.ShardDone(0, shardFor(0, "alpha", 0), 50*time.Millisecond, 1, 1, 0)
 	if out := buf.String(); strings.Contains(out, "eta") {
-		t.Fatalf("zero eta must be omitted, got:\n%s", out)
+		t.Fatalf("final shard must not print any eta, got:\n%s", out)
 	}
 }
 

@@ -1,0 +1,88 @@
+package campaign
+
+import (
+	"sort"
+
+	"memlife/internal/analysis"
+)
+
+// Streaming aggregation: the constant-memory alternative to buffering
+// every ShardResult. A streamAgg folds each completed shard into
+// per-(experiment, metric) Online accumulators and quantile sketches —
+// O(metrics x buckets) memory however many seeds the campaign runs.
+//
+// Determinism contract: callers must feed shards in index order (the
+// engine's reorder window guarantees this), and analysis.MeanCI95 is
+// implemented on analysis.Online, so the aggregates are bit-identical
+// to the buffered path's — the output bytes do not depend on which
+// path produced them, the worker count, or the completion order.
+
+type streamKey struct{ exp, metric string }
+
+type streamStat struct {
+	online analysis.Online
+	sketch *analysis.Sketch
+}
+
+type streamAgg struct {
+	stats map[streamKey]*streamStat
+}
+
+func newStreamAgg() *streamAgg {
+	return &streamAgg{stats: make(map[streamKey]*streamStat)}
+}
+
+// add folds one shard's metrics in. Map iteration order is irrelevant:
+// each metric name feeds its own accumulator exactly once per shard,
+// so every per-key sequence is ordered by shard index alone. Steady
+// state (every key seen) allocates nothing.
+func (a *streamAgg) add(exp string, m Metrics) {
+	for name, v := range m {
+		k := streamKey{exp, name}
+		st, ok := a.stats[k]
+		if !ok {
+			st = &streamStat{sketch: analysis.NewSketch()}
+			a.stats[k] = st
+		}
+		st.online.Add(v)
+		st.sketch.Add(v)
+	}
+}
+
+// aggregates renders the canonical aggregate list, ordered by
+// (experiment, metric) exactly like the buffered path, with the
+// sketch's quantile summary attached.
+func (a *streamAgg) aggregates() []Aggregate {
+	keys := make([]streamKey, 0, len(a.stats))
+	for k := range a.stats {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].exp != keys[j].exp {
+			return keys[i].exp < keys[j].exp
+		}
+		return keys[i].metric < keys[j].metric
+	})
+	out := make([]Aggregate, 0, len(keys))
+	for _, k := range keys {
+		st := a.stats[k]
+		ci := st.online.MeanCI()
+		out = append(out, Aggregate{
+			Experiment: k.exp,
+			Metric:     k.metric,
+			N:          ci.N,
+			Mean:       ci.Mean,
+			Std:        ci.Std,
+			CI95:       ci.CI95,
+			Min:        st.online.Min(),
+			Max:        st.online.Max(),
+			Quantiles: &Quantiles{
+				P01: st.sketch.Quantile(0.01),
+				P50: st.sketch.Quantile(0.50),
+				P90: st.sketch.Quantile(0.90),
+				P99: st.sketch.Quantile(0.99),
+			},
+		})
+	}
+	return out
+}

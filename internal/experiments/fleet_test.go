@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"memlife/internal/campaign"
+	"memlife/internal/spec"
+)
+
+// TestFleetSurvivalRuns: the full arm grid must execute in fast mode
+// and report the study's headline dynamics.
+func TestFleetSurvivalRuns(t *testing.T) {
+	arms, err := FleetSurvival(Options{Fast: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arms) < 12 {
+		t.Fatalf("arm grid too small: %d", len(arms))
+	}
+	byName := map[string]FleetArmResult{}
+	for _, a := range arms {
+		if a.Served == 0 {
+			t.Errorf("arm %s served nothing", a.Name)
+		}
+		byName[a.Name] = a
+	}
+	nr, ok := byName["rr/diurnal/no-replace"]
+	if !ok {
+		t.Fatal("no-replace arm missing")
+	}
+	if nr.Replacements != 0 || nr.ReplacementCost != 0 {
+		t.Errorf("no-replace arm paid replacement cost: %+v", nr.Result)
+	}
+	lazy, eager := byName["rr/diurnal/lazy"], byName["rr/diurnal/eager"]
+	if eager.Retunes <= lazy.Retunes {
+		t.Errorf("eager policy must retune more: eager=%d lazy=%d", eager.Retunes, lazy.Retunes)
+	}
+}
+
+// TestFleetSurvivalRender: the table driver must produce the arms and
+// survival-curve section.
+func TestFleetSurvivalRender(t *testing.T) {
+	e, ok := ByID("fleet-survival")
+	if !ok {
+		t.Fatal("fleet-survival not registered")
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf, Options{Fast: true, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"round-robin/diurnal", "hash-affinity/zipf", "survival curves", "repl cost"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+}
+
+// TestFleetCampaignDeterministicAcrossWorkers: a fleet-survival
+// campaign must serialize byte-identically whatever the worker count —
+// the acceptance contract of the fleet subsystem.
+func TestFleetCampaignDeterministicAcrossWorkers(t *testing.T) {
+	cspec := campaign.Spec{Experiments: []string{"fleet-survival"}, Seeds: 3, BaseSeed: 11, Fast: true}
+	var ref []byte
+	for _, workers := range []int{1, 2} {
+		res, err := campaign.Run(context.Background(), cspec, campaign.Config{
+			Workers: workers, Resolve: CampaignResolver(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = buf.Bytes()
+		} else if !bytes.Equal(ref, buf.Bytes()) {
+			t.Fatalf("fleet-survival campaign output differs at %d workers", workers)
+		}
+	}
+	if len(ref) == 0 {
+		t.Fatal("campaign produced no output")
+	}
+}
+
+// TestFleetScenarioPath: a spec with a fleet block must run the fleet
+// simulator through both scenario entry points, deterministically.
+func TestFleetScenarioPath(t *testing.T) {
+	s, err := spec.ResolveBytes([]byte(`{
+		"version": 1,
+		"name": "fleet-test",
+		"run": {"fast": true, "seed": 5},
+		"fleet": {"instances": 6, "ticks": 200}
+	}`), spec.Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := RunScenario(&buf, s, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fleet-test (fleet)", "6 instances, 200 ticks", "final alive fraction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet scenario output missing %q:\n%s", want, out)
+		}
+	}
+
+	m1, err := ScenarioMetrics(s, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ScenarioMetrics(s, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1["served"] == 0 {
+		t.Error("fleet scenario metrics served nothing")
+	}
+	for k, v := range m1 {
+		if m2[k] != v {
+			t.Errorf("fleet scenario metrics nondeterministic at %q: %v vs %v", k, v, m2[k])
+		}
+	}
+	if _, ok := m1["final_alive"]; !ok {
+		t.Error("fleet scenario metrics missing final_alive")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"memlife/internal/campaign"
+	"memlife/internal/fleet"
 	"memlife/internal/spec"
 )
 
@@ -44,6 +45,17 @@ func ScenarioMetrics(s spec.Spec, opt Options) (map[string]float64, error) {
 	s.Run.Seed = opt.Seed
 	s.Run.Workers = opt.Workers
 	opt.Fast = s.Run.Fast
+
+	// A fleet block switches the unit of work: the spec describes a
+	// population of crossbars under traffic, not a single lifetime
+	// study, and needs no trained bundle.
+	if s.Fleet != nil {
+		res, err := fleet.Run(opt.Context(), *s.Fleet, s.Device, s.Aging, s.TempK, s.Run.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return res.Metrics(), nil
+	}
 
 	b, err := BundleForSpec(s, opt)
 	if err != nil {
@@ -103,6 +115,9 @@ func RunScenario(w io.Writer, s spec.Spec, opt Options) error {
 	if err != nil {
 		return err
 	}
+	if s.Fleet != nil {
+		return runFleetScenario(w, s, fp, opt)
+	}
 	b, err := BundleForSpec(s, opt)
 	if err != nil {
 		return err
@@ -139,5 +154,33 @@ func RunScenario(w io.Writer, s spec.Spec, opt Options) error {
 	if res.DegradedAtCycle > 0 {
 		fmt.Fprintf(w, "degraded service from cycle %d\n", res.DegradedAtCycle)
 	}
+	return nil
+}
+
+// runFleetScenario is the -scenario path for specs carrying a fleet
+// block: run the fleet simulation the block describes and summarize.
+func runFleetScenario(w io.Writer, s spec.Spec, fp string, opt Options) error {
+	res, err := fleet.Run(opt.Context(), *s.Fleet, s.Device, s.Aging, s.TempK, s.Run.Seed)
+	if err != nil {
+		return err
+	}
+	name := s.Name
+	if name == "" {
+		name = "(unnamed scenario)"
+	}
+	fmt.Fprintf(w, "scenario: %s (fleet)\n", name)
+	fmt.Fprintf(w, "fingerprint: %s\n", fp)
+	fmt.Fprintf(w, "fleet: %d instances, %d ticks, balancer=%s, traffic=%s\n",
+		s.Fleet.Instances, s.Fleet.Ticks, s.Fleet.Balancer, s.Fleet.Traffic.Pattern)
+	fmt.Fprintf(w, "served: %d  dropped: %d  retunes: %d  remaps: %d\n",
+		res.Served, res.Dropped, res.Retunes, res.Remaps)
+	fmt.Fprintf(w, "deaths: %d", res.Deaths)
+	if res.FirstDeathTick > 0 {
+		fmt.Fprintf(w, " (first at tick %d)", res.FirstDeathTick)
+	}
+	fmt.Fprintf(w, "  replacements: %d (cost %.1f)\n", res.Replacements, res.ReplacementCost)
+	fmt.Fprintf(w, "accuracy p50/p99: %.3f / %.3f  latency proxy p50/p99: %.2f / %.2f\n",
+		res.AccP50, res.AccP99, res.LatencyP50, res.LatencyP99)
+	fmt.Fprintf(w, "final alive fraction: %.2f\n", res.FinalAlive)
 	return nil
 }

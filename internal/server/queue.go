@@ -323,6 +323,15 @@ func (q *queue) Jobs() []Job {
 
 // Depth returns (queued, running) counts for telemetry.
 func (q *queue) Depth() (queued, running int) {
+	queued, running, _, _ = q.CountsByState()
+	return
+}
+
+// CountsByState returns how many known jobs sit in each lifecycle
+// state. Unlike the server/jobs_done and server/jobs_failed event
+// counters, these reflect the current job table — including terminal
+// states replayed from the journal at startup.
+func (q *queue) CountsByState() (queued, running, done, failed int) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for _, j := range q.jobs {
@@ -331,6 +340,10 @@ func (q *queue) Depth() (queued, running int) {
 			queued++
 		case JobRunning:
 			running++
+		case JobDone:
+			done++
+		case JobFailed:
+			failed++
 		}
 	}
 	return

@@ -17,6 +17,8 @@ type serverTel struct {
 	cacheMisses   *telemetry.Counter // submissions that had to run
 	queueDepth    *telemetry.Gauge
 	runningJobs   *telemetry.Gauge
+	stateDone     *telemetry.Gauge // jobs currently terminal-done in the job table
+	stateFailed   *telemetry.Gauge // jobs currently terminal-failed in the job table
 	jobNs         *telemetry.Histogram // per-job wall time (success only)
 	drainNs       *telemetry.Gauge     // duration of the last graceful drain
 }
@@ -37,14 +39,18 @@ func newServerTel() *serverTel {
 		cacheMisses:   r.Counter("server/cache_misses"),
 		queueDepth:    r.Gauge("server/queue_depth"),
 		runningJobs:   r.Gauge("server/running_jobs"),
+		stateDone:     r.Gauge("server/jobs_state_done"),
+		stateFailed:   r.Gauge("server/jobs_state_failed"),
 		jobNs:         r.Histogram("server/job_ns", telemetry.NsBounds()),
 		drainNs:       r.Gauge("server/drain_ns"),
 	}
 }
 
-// observeDepth publishes the queue's current depth gauges.
+// observeDepth publishes the queue's current per-state gauges.
 func (t *serverTel) observeDepth(q *queue) {
-	queued, running := q.Depth()
+	queued, running, done, failed := q.CountsByState()
 	t.queueDepth.Set(float64(queued))
 	t.runningJobs.Set(float64(running))
+	t.stateDone.Set(float64(done))
+	t.stateFailed.Set(float64(failed))
 }

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"testing"
+
+	"memlife/internal/telemetry"
+)
+
+func gaugeValue(t *testing.T, s telemetry.Snapshot, name string) float64 {
+	t.Helper()
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	t.Fatalf("gauge %q missing from snapshot", name)
+	return 0
+}
+
+// TestObserveDepthPublishesPerStateGauges: the daemon's depth gauges
+// must cover every lifecycle state of the job table — queued, running,
+// done, failed — so /metrics/json exposes the full queue composition.
+func TestObserveDepthPublishesPerStateGauges(t *testing.T) {
+	r := telemetry.NewRegistry()
+	telemetry.SetGlobal(r)
+	t.Cleanup(func() { telemetry.SetGlobal(nil) })
+
+	q, err := openQueue(testQueuePath(t), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	mustSubmit(t, q, "aaaa0001") // stays queued
+	mustSubmit(t, q, "aaaa0002") // -> running
+	mustSubmit(t, q, "aaaa0003") // -> done
+	mustSubmit(t, q, "aaaa0004") // -> failed
+	stop := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		if _, ok := q.Dequeue(stop); !ok {
+			t.Fatal("dequeue starved")
+		}
+	}
+	// Dequeue order is FIFO: 0001..0003 are now running; leave 0001
+	// running and finish the other two. 0004 never dequeues.
+	if err := q.MarkDone("aaaa0002"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.MarkFailed("aaaa0003", "boom"); err != nil {
+		t.Fatal(err)
+	}
+
+	tel := newServerTel()
+	tel.observeDepth(q)
+	snap := r.Snapshot()
+	if got := gaugeValue(t, snap, "server/queue_depth"); got != 1 {
+		t.Errorf("queue_depth = %v, want 1", got)
+	}
+	if got := gaugeValue(t, snap, "server/running_jobs"); got != 1 {
+		t.Errorf("running_jobs = %v, want 1", got)
+	}
+	if got := gaugeValue(t, snap, "server/jobs_state_done"); got != 1 {
+		t.Errorf("jobs_state_done = %v, want 1", got)
+	}
+	if got := gaugeValue(t, snap, "server/jobs_state_failed"); got != 1 {
+		t.Errorf("jobs_state_failed = %v, want 1", got)
+	}
+}

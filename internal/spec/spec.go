@@ -35,6 +35,7 @@ import (
 
 	"memlife/internal/aging"
 	"memlife/internal/device"
+	"memlife/internal/fleet"
 	"memlife/internal/lifetime"
 	"memlife/internal/mapping"
 )
@@ -131,6 +132,12 @@ type Spec struct {
 	// Lifetime is the simulation budget and the nested fault, mapping
 	// and tuning sections.
 	Lifetime lifetime.Config `json:"lifetime"`
+	// Fleet, when present, switches the scenario from a single-crossbar
+	// lifetime study to a fleet simulation: a population of crossbar
+	// instances behind a load balancer under synthetic traffic (see
+	// internal/fleet). The pointer is omitted from serialization when
+	// nil, so non-fleet specs keep their historical fingerprints.
+	Fleet *fleet.Config `json:"fleet,omitempty"`
 	// Run holds seed, fast mode and target-derivation options.
 	Run Run `json:"run"`
 }
@@ -183,6 +190,18 @@ func Defaults(fixture string, fast bool) Spec {
 			TargetScale:  1,
 		},
 	}
+}
+
+// DefaultFleet derives the fleet configuration the fleet-survival
+// experiment uses when a scenario has no explicit fleet block: fleet
+// defaults in the spec's speed tier, with the traffic key space sized
+// to the fixture's class count (each key models one request class).
+func DefaultFleet(s Spec) fleet.Config {
+	keys := 10 // lenet classes
+	if s.Fixture.Name == FixtureVGG {
+		keys = 50
+	}
+	return fleet.Defaults(keys, s.Run.Fast)
 }
 
 // Validate checks the whole spec and reports every violation at once,
@@ -271,6 +290,14 @@ func (s Spec) Validate() error {
 	}
 	if err := lt.Faults.Validate(); err != nil {
 		fail("lifetime.faults", "%v", err)
+	}
+
+	if s.Fleet != nil {
+		if err := s.Fleet.Validate(); err != nil {
+			// fleet.Config.Validate already prefixes each line with its
+			// "fleet." JSON path.
+			errs = append(errs, err)
+		}
 	}
 
 	if s.Run.Seed == 0 {
@@ -457,6 +484,13 @@ func ResolveBytes(raw []byte, o Overrides) (Spec, error) {
 		}
 	}
 	o.apply(&s)
+	if s.Fleet != nil {
+		// A sparse fleet block resolves its "zero means default"
+		// fallbacks here, so the dumped spec is explicit and a
+		// fixed point under re-resolution.
+		norm := s.Fleet.Normalized()
+		s.Fleet = &norm
+	}
 	if err := s.Validate(); err != nil {
 		return Spec{}, fmt.Errorf("spec: invalid scenario:\n%w", err)
 	}

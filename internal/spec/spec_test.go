@@ -416,3 +416,104 @@ func TestScenarioKind(t *testing.T) {
 		}
 	}
 }
+
+// TestFleetBlockResolution: a scenario with a sparse fleet block must
+// resolve to a normalized, valid config that is a fixed point under
+// dump -> resolve, and fleet validation errors must surface under
+// their JSON paths.
+func TestFleetBlockResolution(t *testing.T) {
+	s, err := ResolveBytes([]byte(`{
+		"version": 1,
+		"fleet": {"instances": 6, "ticks": 300}
+	}`), Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fleet == nil {
+		t.Fatal("fleet block lost in resolution")
+	}
+	if s.Fleet.Instances != 6 || s.Fleet.Ticks != 300 {
+		t.Fatalf("explicit fleet fields lost: %+v", s.Fleet)
+	}
+	// Sparse fields must have been normalized to their defaults.
+	if s.Fleet.Balancer == "" || s.Fleet.Traffic.Pattern == "" || s.Fleet.Service.Capacity == 0 {
+		t.Fatalf("fleet fallbacks not resolved: %+v", s.Fleet)
+	}
+	if *s.Fleet != s.Fleet.Normalized() {
+		t.Fatal("resolved fleet block must be a normalization fixed point")
+	}
+
+	// Dump -> resolve must reproduce the identical fleet block.
+	dump, err := s.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ResolveBytes(dump, Overrides{})
+	if err != nil {
+		t.Fatalf("dumped fleet spec must resolve cleanly: %v", err)
+	}
+	if back.Fleet == nil || *back.Fleet != *s.Fleet {
+		t.Fatalf("fleet round trip drifted:\ngot  %+v\nwant %+v", back.Fleet, s.Fleet)
+	}
+
+	// An invalid fleet block must be rejected under its JSON path.
+	_, err = ResolveBytes([]byte(`{
+		"version": 1,
+		"fleet": {"instances": 6, "ticks": 300, "balancer": "random"}
+	}`), Overrides{})
+	if err == nil || !strings.Contains(err.Error(), "fleet.balancer") {
+		t.Fatalf("want fleet.balancer error, got %v", err)
+	}
+	// Unknown fleet fields are loud, like everywhere else in the schema.
+	_, err = ResolveBytes([]byte(`{
+		"version": 1,
+		"fleet": {"instnces": 6}
+	}`), Overrides{})
+	if err == nil || !strings.Contains(err.Error(), "instnces") {
+		t.Fatalf("want unknown-field error, got %v", err)
+	}
+}
+
+// TestFleetFingerprint: adding a fleet block changes the fingerprint;
+// specs without one keep their historical hashes (the field is an
+// omitted pointer).
+func TestFleetFingerprint(t *testing.T) {
+	base := Defaults(FixtureLeNet, false)
+	fpBase, err := base.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The serialized form of a fleet-less spec must not mention fleet at
+	// all — that is what preserves pre-fleet fingerprints.
+	dump, err := base.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(dump), "\"fleet\"") {
+		t.Fatal("nil fleet must be omitted from the dumped spec")
+	}
+
+	withFleet := base
+	cfg := DefaultFleet(base)
+	withFleet.Fleet = &cfg
+	fpFleet, err := withFleet.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpFleet == fpBase {
+		t.Fatal("fleet block must change the fingerprint")
+	}
+
+	mutated := withFleet
+	cfg2 := cfg
+	cfg2.Traffic.Load *= 2
+	mutated.Fleet = &cfg2
+	fpMut, err := mutated.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpMut == fpFleet {
+		t.Fatal("fleet parameter changes must change the fingerprint")
+	}
+}
