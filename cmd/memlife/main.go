@@ -43,6 +43,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -120,6 +121,7 @@ type cliConfig struct {
 	benchOut      string
 	benchBaseline string
 	benchTol      float64
+	cpuProfile    string
 
 	// overrides carries the explicitly set CLI flags into stage 3 of
 	// the spec resolution chain (spec.Overrides); flags left at their
@@ -172,6 +174,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&c.benchOut, "bench-out", "", "bench: write the canonical JSON report to this file (default stdout)")
 	fs.StringVar(&c.benchBaseline, "bench-baseline", "", "bench: compare against this committed baseline report and fail on regression")
 	fs.Float64Var(&c.benchTol, "bench-tol", 4, "bench: allowed ns/op growth factor over the baseline (4 = up to 5x slower; generous because baselines cross machines)")
+	fs.StringVar(&c.cpuProfile, "cpuprofile", "", "bench: write a CPU profile of the kernel runs to this file (pprof format)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -309,8 +312,29 @@ func runScenario(ctx context.Context, c cliConfig, stdout, stderr io.Writer) int
 
 // runBench runs the registered micro-kernels through the bench harness,
 // writes the canonical JSON report, and optionally gates against a
-// committed baseline (-bench-baseline / -bench-tol). See internal/bench.
+// committed baseline (-bench-baseline / -bench-tol). With -cpuprofile
+// the whole kernel sweep runs under the CPU profiler, so a failed gate
+// ships the evidence needed to see where the regression lives (CI
+// uploads the profile as an artifact on failure). See internal/bench.
 func runBench(c cliConfig, stdout, stderr io.Writer) int {
+	if c.cpuProfile != "" {
+		f, err := os.Create(c.cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "memlife: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "memlife: starting CPU profile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(stderr, "memlife: closing CPU profile: %v\n", err)
+			}
+		}()
+	}
 	rep, err := bench.RunAll(time.Now().Format("2006-01-02"))
 	if err != nil {
 		fmt.Fprintf(stderr, "memlife: %v\n", err)

@@ -121,6 +121,63 @@ func (m Model) Bounds(p device.Params, stress, tK float64) (lo, hi float64) {
 	return lo, hi
 }
 
+// Evaluator is a Model bound to one technology and temperature with
+// every stress-independent term precomputed: the Arrhenius acceleration
+// (one exp), the fresh bounds, and the floors. Bounds then costs one
+// math.Pow per distinct stress value instead of one exp plus two pows —
+// the dominant cost of per-device aged-bounds evaluation in mapping and
+// drift loops. The arithmetic association matches Model.UpperLoss /
+// Model.LowerLoss / Model.Bounds exactly ((A*accel)*pow, Go's
+// left-to-right evaluation of A*accel*pow), so Evaluator.Bounds is
+// bit-identical to Model.Bounds for every input.
+type Evaluator struct {
+	aAccel, bAccel float64 // A*Accel(tK), B*Accel(tK)
+	m              float64
+	rmaxFresh      float64
+	rminFresh      float64
+	loFloor        float64 // 0.05 * RminFresh
+	spacing        float64 // one level spacing, the minimum window width
+}
+
+// Evaluator precomputes the stress-independent parts of Bounds for the
+// given technology and temperature. It panics on non-positive tK, like
+// Accel.
+func (m Model) Evaluator(p device.Params, tK float64) Evaluator {
+	accel := m.Accel(tK)
+	return Evaluator{
+		aAccel:    m.A * accel,
+		bAccel:    m.B * accel,
+		m:         m.M,
+		rmaxFresh: p.RmaxFresh,
+		rminFresh: p.RminFresh,
+		loFloor:   0.05 * p.RminFresh,
+		spacing:   p.LevelSpacing(),
+	}
+}
+
+// Bounds returns the aged window [lo, hi] for the given accumulated
+// stress — bit-identical to Model.Bounds(p, stress, tK) at the
+// evaluator's technology and temperature.
+func (e Evaluator) Bounds(stress float64) (lo, hi float64) {
+	if stress < 0 {
+		panic(fmt.Sprintf("aging: negative stress %g", stress))
+	}
+	hi = e.rmaxFresh
+	lo = e.rminFresh
+	if stress != 0 {
+		pw := math.Pow(stress, e.m)
+		hi -= e.aAccel * pw
+		lo -= e.bAccel * pw
+	}
+	if lo < e.loFloor {
+		lo = e.loFloor
+	}
+	if hi < lo+e.spacing {
+		hi = lo + e.spacing
+	}
+	return lo, hi
+}
+
 // StressForUpperLoss inverts f: the stress after which the upper bound
 // has lost the given Ohms at temperature tK. Useful for computing
 // expected lifetimes analytically in tests and benches.

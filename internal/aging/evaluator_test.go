@@ -1,0 +1,54 @@
+package aging
+
+import (
+	"math"
+	"testing"
+
+	"memlife/internal/device"
+)
+
+// TestEvaluatorBitIdentical sweeps stress, temperature, and model
+// variations and requires Evaluator.Bounds to equal Model.Bounds with
+// == — the precomputation must not change a single bit.
+func TestEvaluatorBitIdentical(t *testing.T) {
+	models := []Model{
+		DefaultModel(),
+		{A: 3000, B: 10, Ea: 0.9, M: 0.3, TrefK: 320},
+		{A: 1, B: 0, Ea: 0.1, M: 1, TrefK: 300},
+	}
+	params := []device.Params{device.Params32(), device.Params64()}
+	temps := []float64{250, 300, 300.5, 350, 400}
+	stresses := []float64{0, 1e-12, 0.01, 0.5, 1, 3.7, 100, 1e6}
+	for _, m := range models {
+		for _, p := range params {
+			for _, tK := range temps {
+				e := m.Evaluator(p, tK)
+				for _, s := range stresses {
+					wantLo, wantHi := m.Bounds(p, s, tK)
+					gotLo, gotHi := e.Bounds(s)
+					if gotLo != wantLo || gotHi != wantHi {
+						t.Fatalf("model %+v p.Levels=%d tK=%g stress=%g: evaluator [%v,%v], model [%v,%v]",
+							m, p.Levels, tK, s, gotLo, gotHi, wantLo, wantHi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluatorPanicsLikeModel pins the shared input contract.
+func TestEvaluatorPanicsLikeModel(t *testing.T) {
+	e := DefaultModel().Evaluator(device.Params32(), 300)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s must panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("negative stress", func() { e.Bounds(-1) })
+	mustPanic("non-positive temperature", func() { DefaultModel().Evaluator(device.Params32(), 0) })
+	mustPanic("NaN guard parity", func() { DefaultModel().Bounds(device.Params32(), -math.SmallestNonzeroFloat64, 300) })
+}

@@ -28,13 +28,35 @@ import (
 	"memlife/internal/tensor"
 )
 
-// Result is the measurement of one kernel.
+// Result is the measurement of one kernel, plus the kernel's hard
+// allocation budget when it declares one. Budgets are part of the
+// committed baseline: Compare enforces them on the CURRENT run with no
+// slack — exceeding max_allocs_per_op or max_bytes_per_op fails the
+// gate exactly like an ns/op regression. Nil means unbudgeted (the
+// pointer keeps an absent JSON field distinct from an explicit 0).
 type Result struct {
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	Iterations  int     `json:"iterations"`
+	Name           string  `json:"name"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	Iterations     int     `json:"iterations"`
+	MaxAllocsPerOp *int64  `json:"max_allocs_per_op,omitempty"`
+	MaxBytesPerOp  *int64  `json:"max_bytes_per_op,omitempty"`
+}
+
+// Equal compares two results by value (pointer budgets compare by
+// pointee).
+func (r Result) Equal(o Result) bool {
+	eqPtr := func(a, b *int64) bool {
+		if (a == nil) != (b == nil) {
+			return false
+		}
+		return a == nil || *a == *b
+	}
+	return r.Name == o.Name && r.NsPerOp == o.NsPerOp &&
+		r.AllocsPerOp == o.AllocsPerOp && r.BytesPerOp == o.BytesPerOp &&
+		r.Iterations == o.Iterations &&
+		eqPtr(r.MaxAllocsPerOp, o.MaxAllocsPerOp) && eqPtr(r.MaxBytesPerOp, o.MaxBytesPerOp)
 }
 
 // Report is one harness run: environment, date, and per-kernel results
@@ -81,11 +103,26 @@ func ReadReport(r io.Reader) (Report, error) {
 }
 
 // kernel is one registered micro-benchmark. setup builds the fixture
-// outside the timed region; run is the b.N loop.
+// outside the timed region; run is the b.N loop. maxAllocs/maxBytes,
+// when non-nil, are the kernel's hard per-op budgets: they are stamped
+// into the emitted Result, committed with the baseline, and enforced by
+// Compare with zero slack.
 type kernel struct {
-	name string
-	run  func(b *testing.B)
+	name      string
+	run       func(b *testing.B)
+	maxAllocs *int64
+	maxBytes  *int64
 }
+
+// zeroAlloc is the budget of the steady-state kernels: 0 allocs/op and
+// 0 bytes/op, enforced exactly.
+var zeroAlloc int64 = 0
+
+// byteBudgetNoise is the per-run byte total below which a bytes/op
+// budget overage is attributed to in-process noise the kernel does not
+// own (CPU-profile buffer flushes, runtime housekeeping) rather than a
+// leak. See Compare.
+const byteBudgetNoise = 64 << 10
 
 // benchState is the shared fixture: one mapped crossbar (no faults, so
 // reads are pure and draw no RNG), an input vector, an input batch, and
@@ -126,13 +163,16 @@ func kernels() ([]kernel, error) {
 	// which is exactly the per-application inference pattern the cache
 	// was built for.
 	ks := []kernel{
-		{name: "vmm/cached", run: func(b *testing.B) {
-			if _, err := cb.VMM(x); err != nil { // warm the cache outside the timer
+		{name: "vmm/cached", maxAllocs: &zeroAlloc, maxBytes: &zeroAlloc, run: func(b *testing.B) {
+			// Steady-state serving through the caller-owned destination:
+			// with a warm cache, zero allocations per read.
+			dst := tensor.New(benchCols)
+			if err := cb.VMMInto(dst, x); err != nil { // warm the cache outside the timer
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := cb.VMM(x); err != nil {
+				if err := cb.VMMInto(dst, x); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -144,7 +184,7 @@ func kernels() ([]kernel, error) {
 				}
 			}
 		}},
-		{name: "effweights/cached", run: func(b *testing.B) {
+		{name: "effweights/cached", maxAllocs: &zeroAlloc, maxBytes: &zeroAlloc, run: func(b *testing.B) {
 			dst := tensor.New(benchRows, benchCols)
 			if err := cb.ReadWeightsInto(dst); err != nil {
 				b.Fatal(err)
@@ -174,7 +214,21 @@ func kernels() ([]kernel, error) {
 				}
 			}
 		}},
-		{name: "matmul", run: func(b *testing.B) {
+		{name: "vmmbatch/into", maxAllocs: &zeroAlloc, maxBytes: &zeroAlloc, run: func(b *testing.B) {
+			// The caller-owned-destination batch kernel: the whole batch
+			// evaluated with zero allocations.
+			dst := tensor.New(benchBatch, benchCols)
+			if err := cb.VMMBatchInto(dst, xb, 0); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := cb.VMMBatchInto(dst, xb, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "matmul", maxAllocs: &zeroAlloc, maxBytes: &zeroAlloc, run: func(b *testing.B) {
 			a := tensor.New(benchBatch, benchRows)
 			tensor.NewRNG(20).FillNormal(a, 0, 1)
 			dst := tensor.New(benchBatch, benchCols)
@@ -183,7 +237,7 @@ func kernels() ([]kernel, error) {
 				tensor.MatMulInto(dst, a, w)
 			}
 		}},
-		{name: "telemetry/counter_disabled", run: func(b *testing.B) {
+		{name: "telemetry/counter_disabled", maxAllocs: &zeroAlloc, maxBytes: &zeroAlloc, run: func(b *testing.B) {
 			// The disabled-telemetry fast path: a nil registry hands out a
 			// nil counter whose Inc is a single-branch no-op. The gate
 			// pins this at 0 allocs/op so instrumenting hot loops stays
@@ -197,7 +251,7 @@ func kernels() ([]kernel, error) {
 				h.Observe(float64(i))
 			}
 		}},
-		{name: "fleet/tick", run: func(b *testing.B) {
+		{name: "fleet/tick", maxAllocs: &zeroAlloc, maxBytes: &zeroAlloc, run: func(b *testing.B) {
 			// One event-clock tick of a small fleet under the busiest
 			// balancer. The loop runs past the configured horizon —
 			// Tick keeps serving beyond cfg.Ticks — so b.N is
@@ -218,17 +272,60 @@ func kernels() ([]kernel, error) {
 				sim.Tick()
 			}
 		}},
-		{name: "mapweights", run: func(b *testing.B) {
+		{name: "mapweights", maxAllocs: &zeroAlloc, maxBytes: &zeroAlloc, run: func(b *testing.B) {
 			// Its own array: repeated programming ages devices, and that
-			// wear must not leak into the read kernels.
+			// wear must not leak into the read kernels. The warm call
+			// sizes the aged-bounds memo outside the timer, so the
+			// steady-state remap is allocation-free.
 			mcb, mw, err := newBenchCrossbar()
 			if err != nil {
 				b.Fatal(err)
 			}
 			p := mcb.Params()
+			mcb.MapWeights(mw, p.RminFresh, p.RmaxFresh)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				mcb.MapWeights(mw, p.RminFresh, p.RmaxFresh)
+			}
+		}},
+		{name: "mapweights/lut", maxAllocs: &zeroAlloc, maxBytes: &zeroAlloc, run: func(b *testing.B) {
+			// The software-side quantization pass of the range selection
+			// (QuantizeWeightsInto): pure LUT arithmetic, no device state,
+			// zero allocations into a caller-owned destination.
+			dst := tensor.New(benchRows, benchCols)
+			p := cb.Params()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cb.QuantizeWeightsInto(dst, w, p.RminFresh, p.RmaxFresh)
+			}
+		}},
+		{name: "stepdevice/batch", maxAllocs: &zeroAlloc, maxBytes: &zeroAlloc, run: func(b *testing.B) {
+			// Batched tuning pulses: one StepDevices call applying a
+			// quarter of the array per op, patching the cache per cell.
+			// Its own array (pulses age devices).
+			scb, sw, err := newBenchCrossbar()
+			if err != nil {
+				b.Fatal(err)
+			}
+			steps := make([]crossbar.Step, 0, benchRows*benchCols/4)
+			rng := tensor.NewRNG(21)
+			for len(steps) < cap(steps) {
+				dir := 1
+				if rng.Float64() < 0.5 {
+					dir = -1
+				}
+				steps = append(steps, crossbar.Step{I: rng.Intn(benchRows), J: rng.Intn(benchCols), Dir: dir})
+			}
+			p := scb.Params()
+			scb.MapWeights(sw, p.RminFresh, p.RmaxFresh)
+			sink := tensor.New(benchRows, benchCols)
+			if err := scb.ReadWeightsInto(sink); err != nil { // warm the cache: StepDevices patches it
+				b.Fatal(err)
+			}
+			scb.StepDevices(steps, 2) // warm the bounds memo
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scb.StepDevices(steps, 2)
 			}
 		}},
 	}
@@ -278,11 +375,13 @@ func Run(date string, names []string) (Report, error) {
 			return Report{}, fmt.Errorf("bench: kernel %s failed (see benchmark log)", k.name)
 		}
 		rep.Results = append(rep.Results, Result{
-			Name:        k.name,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			Iterations:  r.N,
+			Name:           k.name,
+			NsPerOp:        float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp:    r.AllocsPerOp(),
+			BytesPerOp:     r.AllocedBytesPerOp(),
+			Iterations:     r.N,
+			MaxAllocsPerOp: k.maxAllocs,
+			MaxBytesPerOp:  k.maxBytes,
 		})
 	}
 	if len(want) > 0 && matched != len(want) {
@@ -301,8 +400,20 @@ func RunAll(date string) (Report, error) { return Run(date, nil) }
 // to catch order-of-magnitude regressions (a cache that silently
 // stopped caching), not scheduler noise. allocs/op is gated tightly
 // (25% + 2 allocs of slack) because allocation counts do not depend on
-// the machine. Kernels present only in cur are ignored (new kernels
-// need no baseline); kernels missing from cur are an error.
+// the machine. On top of that, a baseline kernel carrying a hard budget
+// (max_allocs_per_op / max_bytes_per_op) is enforced with NO per-op
+// slack: budgets are contracts, not measurements, and exceeding one
+// fails the gate at any ns/op tolerance. The bytes budget alone is
+// enforced above a small per-RUN noise floor (byteBudgetNoise): rare
+// in-process allocations the kernel does not own — a CPU-profile
+// buffer flush under -cpuprofile, runtime housekeeping — amortize to a
+// bounded byte total per run and can surface as 1–2 bytes/op, while a
+// genuine per-op leak scales with the iteration count (even a single
+// 16-byte allocation per op totals megabytes). allocs/op needs no
+// floor: testing.Benchmark truncates, so a handful of stray
+// allocations over thousands of iterations reads 0. Kernels present
+// only in cur are ignored (new kernels need no baseline); kernels
+// missing from cur are an error.
 func Compare(base, cur Report, tol float64) error {
 	if tol < 0 {
 		return fmt.Errorf("bench: negative tolerance %g", tol)
@@ -321,6 +432,15 @@ func Compare(base, cur Report, tol float64) error {
 		if maxAllocs := b.AllocsPerOp + b.AllocsPerOp/4 + 2; c.AllocsPerOp > maxAllocs {
 			failures = append(failures, fmt.Sprintf("%s: %d allocs/op exceeds baseline %d allocs/op (limit %d)",
 				b.Name, c.AllocsPerOp, b.AllocsPerOp, maxAllocs))
+		}
+		if b.MaxAllocsPerOp != nil && c.AllocsPerOp > *b.MaxAllocsPerOp {
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op exceeds the hard budget of %d",
+				b.Name, c.AllocsPerOp, *b.MaxAllocsPerOp))
+		}
+		if b.MaxBytesPerOp != nil && c.BytesPerOp > *b.MaxBytesPerOp &&
+			(c.BytesPerOp-*b.MaxBytesPerOp)*int64(c.Iterations) > byteBudgetNoise {
+			failures = append(failures, fmt.Sprintf("%s: %d bytes/op exceeds the hard budget of %d",
+				b.Name, c.BytesPerOp, *b.MaxBytesPerOp))
 		}
 	}
 	if len(failures) > 0 {

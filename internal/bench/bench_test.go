@@ -13,6 +13,8 @@ func sampleReport() Report {
 		Results: []Result{
 			{Name: "vmm/cached", NsPerOp: 1000, AllocsPerOp: 2, BytesPerOp: 512, Iterations: 100000},
 			{Name: "vmm/naive", NsPerOp: 9000, AllocsPerOp: 4, BytesPerOp: 66000, Iterations: 10000},
+			{Name: "stepdevice/batch", NsPerOp: 500, AllocsPerOp: 0, BytesPerOp: 0, Iterations: 200000,
+				MaxAllocsPerOp: &zeroAlloc, MaxBytesPerOp: &zeroAlloc},
 		},
 	}
 }
@@ -30,8 +32,20 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	if got.Date != rep.Date || len(got.Results) != len(rep.Results) {
 		t.Fatalf("round trip lost data: %+v", got)
 	}
-	if got.Results[0] != rep.Results[0] || got.Results[1] != rep.Results[1] {
-		t.Fatalf("results corrupted: %+v", got.Results)
+	for _, want := range rep.Results {
+		g, ok := got.Get(want.Name)
+		if !ok || !g.Equal(want) {
+			t.Fatalf("result %s corrupted: got %+v, want %+v", want.Name, g, want)
+		}
+	}
+	// An unbudgeted kernel must round-trip with nil budgets, not 0 —
+	// absent and explicit-zero budgets are different contracts.
+	g, _ := got.Get("vmm/cached")
+	if g.MaxAllocsPerOp != nil || g.MaxBytesPerOp != nil {
+		t.Fatalf("unbudgeted kernel decoded with budgets: %+v", g)
+	}
+	if gb, _ := got.Get("stepdevice/batch"); gb.MaxAllocsPerOp == nil || *gb.MaxAllocsPerOp != 0 {
+		t.Fatalf("budgeted kernel lost its budget: %+v", gb)
 	}
 }
 
@@ -89,6 +103,32 @@ func TestCompareGates(t *testing.T) {
 		t.Fatalf("kernels without a baseline must be ignored: %v", err)
 	}
 
+	// Hard budgets have no slack: a single alloc (or byte) over the
+	// committed budget fails the gate at any tolerance, even though the
+	// 25%+2 relative alloc gate alone would let it pass.
+	overBudget := sampleReport()
+	overBudget.Results[2].AllocsPerOp = 1
+	if err := Compare(base, overBudget, 1000); err == nil {
+		t.Fatal("1 alloc/op over a 0 budget must fail the gate")
+	} else if !strings.Contains(err.Error(), "hard budget") {
+		t.Fatalf("failure must name the budget: %v", err)
+	}
+	overBytes := sampleReport()
+	overBytes.Results[2].BytesPerOp = 16
+	if err := Compare(base, overBytes, 1000); err == nil {
+		t.Fatal("16 bytes/op over a 0-byte budget must fail the gate")
+	}
+
+	// ...except below the per-run noise floor: 1 byte/op over 5000
+	// iterations is a 5 KiB run total — profiler/runtime noise, not a
+	// leak — and must pass even though the per-op budget is exceeded.
+	noisy := sampleReport()
+	noisy.Results[2].BytesPerOp = 1
+	noisy.Results[2].Iterations = 5000
+	if err := Compare(base, noisy, 1000); err != nil {
+		t.Fatalf("sub-noise-floor byte overage must pass: %v", err)
+	}
+
 	if err := Compare(base, ok, -1); err == nil {
 		t.Fatal("negative tolerance must be rejected")
 	}
@@ -109,7 +149,12 @@ func TestSpeedup(t *testing.T) {
 }
 
 func TestNamesCoverTheContract(t *testing.T) {
-	want := []string{"effweights/cached", "effweights/naive", "fleet/tick", "mapweights", "matmul", "telemetry/counter_disabled", "vmm/cached", "vmm/naive", "vmmbatch"}
+	want := []string{
+		"effweights/cached", "effweights/naive", "fleet/tick",
+		"mapweights", "mapweights/lut", "matmul", "stepdevice/batch",
+		"telemetry/counter_disabled", "vmm/cached", "vmm/naive",
+		"vmmbatch", "vmmbatch/into",
+	}
 	got := Names()
 	sort.Strings(want)
 	if len(got) != len(want) {
@@ -149,6 +194,34 @@ func TestDisabledTelemetryZeroAlloc(t *testing.T) {
 	if r.AllocsPerOp != 0 || r.BytesPerOp != 0 {
 		t.Fatalf("disabled telemetry path allocates: %d allocs/op, %d bytes/op (want 0/0)",
 			r.AllocsPerOp, r.BytesPerOp)
+	}
+}
+
+// TestHotKernelBudgets measures every budgeted hot kernel and enforces
+// its own stamped budget via Compare(rep, rep, ...): the steady-state
+// VMM, batch VMM, readback, mapping, quantization, and batched stepping
+// kernels must measure 0 allocs/op and 0 bytes/op on this machine.
+// Skipped in -short runs (testing.Benchmark spends ~1s per kernel).
+func TestHotKernelBudgets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark measurement in -short mode")
+	}
+	names := []string{"vmm/cached", "vmmbatch/into", "effweights/cached", "mapweights", "mapweights/lut", "stepdevice/batch"}
+	rep, err := Run("test", names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		r, ok := rep.Get(n)
+		if !ok {
+			t.Fatalf("kernel %s missing from report", n)
+		}
+		if r.MaxAllocsPerOp == nil || r.MaxBytesPerOp == nil {
+			t.Fatalf("kernel %s must carry a hard budget", n)
+		}
+	}
+	if err := Compare(rep, rep, 1); err != nil {
+		t.Fatalf("hot kernels exceed their own budgets: %v", err)
 	}
 }
 

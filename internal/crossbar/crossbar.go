@@ -54,6 +54,26 @@ type Crossbar struct {
 	// tel is the telemetry handle set (see telemetry.go); all-nil when
 	// telemetry is disabled, making every instrumented site a no-op.
 	tel crossbarTel
+
+	// grid is the shared device-technology lookup table (level grid and
+	// derived constants) the mapping/quantization hot paths read from.
+	grid *device.Grid
+
+	// Aged-bounds memo (see hot.go): per-device cached [lo, hi] window
+	// keyed by the exact stress it was computed at; bGen invalidates all
+	// entries at once (temperature changes), bEvalOK tracks whether
+	// bEval matches the current temperature.
+	bEval   aging.Evaluator
+	bEvalOK bool
+	bGen    uint32
+	bStress []float64
+	bLo     []float64
+	bHi     []float64
+	bSeen   []uint32
+
+	// noisy is the crossbar-owned scratch burst-affected VMM reads
+	// materialize into (see hot.go).
+	noisy *tensor.Tensor
 }
 
 // New constructs a fresh crossbar.
@@ -76,6 +96,8 @@ func New(rows, cols int, p device.Params, m aging.Model, tempK float64) (*Crossb
 		devices:     make([]*device.Device, rows*cols),
 		traceStride: 3,
 		tel:         newCrossbarTel(),
+		grid:        p.Grid(),
+		bGen:        1, // bSeen zero-values must read as "never computed"
 	}
 	for i := range cb.devices {
 		cb.devices[i] = device.New(p)
@@ -101,6 +123,10 @@ func (c *Crossbar) SetTempK(t float64) error {
 		return fmt.Errorf("crossbar: temperature must be positive, got %g", t)
 	}
 	c.tempK = t
+	// Temperature moves every aged window: rebuild the bounds evaluator
+	// and expire every memo entry in O(1) via the generation counter.
+	c.bEvalOK = false
+	c.bGen++
 	c.tel.invalTemp.Inc()
 	c.invalidate()
 	return nil
@@ -123,9 +149,11 @@ func (c *Crossbar) Device(i, j int) *device.Device {
 }
 
 // AgedBounds returns the true aged resistance window of device (i, j)
-// per eq. (6)/(7), from its actual accumulated stress.
+// per eq. (6)/(7), from its actual accumulated stress. Served through
+// the per-device memo (see hot.go), bit-identical to the direct
+// model.Bounds computation.
 func (c *Crossbar) AgedBounds(i, j int) (lo, hi float64) {
-	return c.model.Bounds(c.params, c.at(i, j).Stress(), c.tempK)
+	return c.agedBoundsIdx(i*c.Cols + j)
 }
 
 // MapRange returns the common resistance range [rLo, rHi] used by the
@@ -201,20 +229,22 @@ func (c *Crossbar) MapWeights(w *tensor.Tensor, rLo, rHi float64) MapStats {
 
 	var stats MapStats
 	usable := usableAccum{track: c.tel.usableMean != nil}
-	for i := 0; i < c.Rows; i++ {
-		for j := 0; j < c.Cols; j++ {
-			target := TargetResistance(w.At(i, j), wMin, wMax, rLo, rHi)
-			lo, hi := c.AgedBounds(i, j)
-			usable.observe(c.params, lo, hi)
-			res := c.at(i, j).Program(target, lo, hi)
-			stats.Pulses += res.Pulses
-			stats.Stress += res.Stress
-			if res.Clipped {
-				stats.Clipped++
-			}
-			if res.Stuck {
-				stats.Stuck++
-			}
+	conv := newMapConv(wMin, wMax, rLo, rHi)
+	wd := w.Data()
+	// Devices are row-major like w's backing slice, so the flat walk
+	// visits (i, j) pairs in exactly the order of the nested loops.
+	for idx, d := range c.devices {
+		target := conv.target(wd[idx])
+		lo, hi := c.agedBoundsIdx(idx)
+		usable.observe(c.params, lo, hi)
+		res := d.Program(target, lo, hi)
+		stats.Pulses += res.Pulses
+		stats.Stress += res.Stress
+		if res.Clipped {
+			stats.Clipped++
+		}
+		if res.Stuck {
+			stats.Stuck++
 		}
 	}
 	c.recordMapTel(stats, usable)
@@ -253,15 +283,9 @@ func (c *Crossbar) VMM(x *tensor.Tensor) (*tensor.Tensor, error) {
 	if !c.mapped {
 		return nil, ErrNotMapped
 	}
-	if burst, sigma := c.readBurst(); burst {
-		// A burst-affected read bypasses the cache entirely; bursts are
-		// rare, so the hot path below stays allocation-lean.
-		noisy := tensor.New(c.Rows, c.Cols)
-		c.noisyInto(noisy, sigma)
-		return tensor.MatVec(noisy.Transpose(), x), nil
-	}
-	c.ensure()
-	return tensor.MatVec(c.effT, x), nil
+	out := tensor.New(c.Cols)
+	c.vmmCore(out, x)
+	return out, nil
 }
 
 // VMMBatch evaluates the array against a whole input batch x (shape
@@ -282,14 +306,7 @@ func (c *Crossbar) VMMBatch(x *tensor.Tensor, workers int) (*tensor.Tensor, erro
 		return nil, ErrNotMapped
 	}
 	out := tensor.New(x.Dim(0), c.Cols)
-	if burst, sigma := c.readBurst(); burst {
-		noisy := tensor.New(c.Rows, c.Cols)
-		c.noisyInto(noisy, sigma)
-		tensor.MatMulWorkersInto(out, x, noisy, workers)
-		return out, nil
-	}
-	c.ensure()
-	tensor.MatMulWorkersInto(out, x, c.eff, workers)
+	c.vmmBatchCore(out, x, workers)
 	return out, nil
 }
 
@@ -407,8 +424,8 @@ func (c *Crossbar) TotalPulses() int64 {
 // all devices — the quantity plotted per layer type in Fig. 11.
 func (c *Crossbar) MeanAgedUpperBound() float64 {
 	s := 0.0
-	for _, d := range c.devices {
-		_, hi := c.model.Bounds(c.params, d.Stress(), c.tempK)
+	for idx := range c.devices {
+		_, hi := c.agedBoundsIdx(idx)
 		s += hi
 	}
 	return s / float64(len(c.devices))
@@ -478,14 +495,8 @@ func (c *Crossbar) TracedLowerBounds() []float64 {
 // selection uses to score candidate ranges *before* committing any
 // programming pulses.
 func (c *Crossbar) QuantizeWeights(w *tensor.Tensor, rLo, rHi float64) *tensor.Tensor {
-	wMin, wMax := w.MinMax()
 	out := tensor.New(w.Shape()...)
-	for i, v := range w.Data() {
-		target := TargetResistance(v, wMin, wMax, rLo, rHi)
-		lvl := c.params.NearestLevelIn(target, rLo, rHi)
-		r := c.params.LevelResistance(lvl)
-		out.Data()[i] = EffectiveWeight(r, wMin, wMax, rLo, rHi)
-	}
+	c.QuantizeWeightsInto(out, w, rLo, rHi)
 	return out
 }
 
@@ -494,15 +505,13 @@ func (c *Crossbar) QuantizeWeights(w *tensor.Tensor, rLo, rHi float64) *tensor.T
 func (c *Crossbar) UsableLevelStats() (min int, mean float64) {
 	min = math.MaxInt32
 	total := 0
-	for i := 0; i < c.Rows; i++ {
-		for j := 0; j < c.Cols; j++ {
-			lo, hi := c.AgedBounds(i, j)
-			n := c.params.UsableLevels(lo, hi)
-			if n < min {
-				min = n
-			}
-			total += n
+	for idx := range c.devices {
+		lo, hi := c.agedBoundsIdx(idx)
+		n := c.grid.UsableLevels(lo, hi)
+		if n < min {
+			min = n
 		}
+		total += n
 	}
 	return min, float64(total) / float64(c.Rows*c.Cols)
 }

@@ -141,6 +141,9 @@ func (c *Crossbar) MapWeightsFaultAware(w *tensor.Tensor, rLo, rHi float64) MapS
 	c.tel.invalMap.Inc()
 	c.invalidate() // ranges and (potentially) every healthy device changed
 
+	conv := newMapConv(wMin, wMax, rLo, rHi)
+	wd := w.Data()
+
 	// Per-column compensation offsets for the healthy devices.
 	comp := make([]float64, c.Cols)
 	for j := 0; j < c.Cols; j++ {
@@ -149,7 +152,7 @@ func (c *Crossbar) MapWeightsFaultAware(w *tensor.Tensor, rLo, rHi float64) MapS
 		for i := 0; i < c.Rows; i++ {
 			d := c.at(i, j)
 			if d.Stuck() {
-				errSum += EffectiveWeight(d.Resistance(), wMin, wMax, rLo, rHi) - w.At(i, j)
+				errSum += conv.eff(d.Resistance()) - wd[i*c.Cols+j]
 			} else {
 				healthy++
 			}
@@ -161,21 +164,19 @@ func (c *Crossbar) MapWeightsFaultAware(w *tensor.Tensor, rLo, rHi float64) MapS
 
 	var stats MapStats
 	usable := usableAccum{track: c.tel.usableMean != nil}
-	for i := 0; i < c.Rows; i++ {
-		for j := 0; j < c.Cols; j++ {
-			if c.at(i, j).Stuck() {
-				stats.Skipped++
-				continue
-			}
-			target := TargetResistance(w.At(i, j)+comp[j], wMin, wMax, rLo, rHi)
-			lo, hi := c.AgedBounds(i, j)
-			usable.observe(c.params, lo, hi)
-			res := c.at(i, j).Program(target, lo, hi)
-			stats.Pulses += res.Pulses
-			stats.Stress += res.Stress
-			if res.Clipped {
-				stats.Clipped++
-			}
+	for idx, d := range c.devices {
+		if d.Stuck() {
+			stats.Skipped++
+			continue
+		}
+		target := conv.target(wd[idx] + comp[idx%c.Cols])
+		lo, hi := c.agedBoundsIdx(idx)
+		usable.observe(c.params, lo, hi)
+		res := d.Program(target, lo, hi)
+		stats.Pulses += res.Pulses
+		stats.Stress += res.Stress
+		if res.Clipped {
+			stats.Clipped++
 		}
 	}
 	c.recordMapTel(stats, usable)

@@ -1,0 +1,305 @@
+package crossbar
+
+import (
+	"fmt"
+	"time"
+
+	"memlife/internal/tensor"
+)
+
+// The zero-allocation hot path.
+//
+// Steady-state simulation spends almost all of its time in four loops:
+// programming (MapWeights), tuning pulses (StepDevice bursts), readback
+// (ReadWeightsInto), and evaluation (VMM/VMMBatch). This file holds the
+// machinery that makes those loops allocation-free and cheap without
+// changing a single output bit:
+//
+//   - an aged-bounds memo: eq. (6)/(7) is a pure function of a device's
+//     accumulated stress (given params, model, temperature), so each
+//     device's window is cached keyed by the exact stress value it was
+//     computed at, over an aging.Evaluator that hoists the Arrhenius
+//     exp out of the loop. Stress only changes through the crossbar's
+//     own pulse accounting (and the Device escape hatch, which the
+//     stress-value key detects), so entries self-invalidate by
+//     comparison; SetTempK bumps a generation instead.
+//   - mapConv: the eq. (4) weight<->resistance affine transform with
+//     its range constants precomputed once per mapping pass, in the
+//     exact association of TargetResistance/EffectiveWeight.
+//   - ...Into variants of the read kernels writing into caller-owned
+//     buffers (see DESIGN.md "Scratch arenas & buffer ownership").
+//   - StepDevices: a batched StepDevice that applies a whole pulse list
+//     (with per-step transient-failure retries) in one call, patching
+//     the cache per moved cell and flushing telemetry once.
+
+// agedBoundsIdx returns the aged window of device idx (row-major)
+// through the memo. Bit-identical to model.Bounds(params, stress,
+// tempK) for every call.
+func (c *Crossbar) agedBoundsIdx(idx int) (lo, hi float64) {
+	if !c.bEvalOK {
+		c.bEval = c.model.Evaluator(c.params, c.tempK)
+		c.bEvalOK = true
+		if c.bStress == nil {
+			n := len(c.devices)
+			c.bStress = make([]float64, n)
+			c.bLo = make([]float64, n)
+			c.bHi = make([]float64, n)
+			c.bSeen = make([]uint32, n)
+		}
+	}
+	s := c.devices[idx].Stress()
+	if c.bSeen[idx] == c.bGen && c.bStress[idx] == s {
+		return c.bLo[idx], c.bHi[idx]
+	}
+	lo, hi = c.bEval.Bounds(s)
+	c.bStress[idx], c.bLo[idx], c.bHi[idx] = s, lo, hi
+	c.bSeen[idx] = c.bGen
+	return lo, hi
+}
+
+// mapConv is eq. (4) with the range constants of one mapping pass
+// precomputed. target and eff reproduce TargetResistance and
+// EffectiveWeight bit-for-bit: the hoisted subexpressions are exactly
+// the ones Go's left-to-right evaluation computes first in the package
+// functions.
+type mapConv struct {
+	wMin, wMax float64
+	gMin, gMax float64
+	rHi        float64
+	scale      float64 // (gMax-gMin)/(wMax-wMin)
+	gSpan      float64 // gMax - gMin
+	wSpan      float64 // wMax - wMin
+	degenerate bool    // wMax <= wMin (or gMax <= gMin for eff)
+}
+
+func newMapConv(wMin, wMax, rLo, rHi float64) mapConv {
+	m := mapConv{
+		wMin: wMin, wMax: wMax,
+		gMin: 1 / rHi, gMax: 1 / rLo,
+		rHi:        rHi,
+		degenerate: wMax <= wMin,
+	}
+	m.gSpan = m.gMax - m.gMin
+	m.wSpan = m.wMax - m.wMin
+	if !m.degenerate {
+		m.scale = (m.gMax - m.gMin) / (m.wMax - m.wMin)
+	}
+	return m
+}
+
+// target is TargetResistance(w, wMin, wMax, rLo, rHi).
+func (m mapConv) target(w float64) float64 {
+	if m.degenerate {
+		return m.rHi
+	}
+	g := m.scale*(w-m.wMin) + m.gMin
+	if g < m.gMin {
+		g = m.gMin
+	} else if g > m.gMax {
+		g = m.gMax
+	}
+	return 1 / g
+}
+
+// eff is EffectiveWeight(r, wMin, wMax, rLo, rHi).
+func (m mapConv) eff(r float64) float64 {
+	if m.gMax <= m.gMin {
+		return m.wMin
+	}
+	g := 1 / r
+	return (g-m.gMin)/m.gSpan*m.wSpan + m.wMin
+}
+
+// noisyScratch returns the crossbar-owned buffer burst-affected reads
+// are materialized into. Owned by the crossbar and overwritten by the
+// next burst read; never escapes.
+func (c *Crossbar) noisyScratch() *tensor.Tensor {
+	if c.noisy == nil {
+		c.noisy = tensor.New(c.Rows, c.Cols)
+	}
+	return c.noisy
+}
+
+// VMMInto computes the analog vector-matrix product like VMM, writing
+// into the caller-owned dst (rank-1, length Cols; must not alias x).
+// With a warm cache and no burst this is allocation-free. Bit-identical
+// to VMM.
+func (c *Crossbar) VMMInto(dst, x *tensor.Tensor) error {
+	if c.tel.vmmNs != nil {
+		defer func(t0 time.Time) { c.tel.vmmNs.Observe(float64(time.Since(t0))) }(time.Now())
+	}
+	if x.Size() != c.Rows {
+		return fmt.Errorf("crossbar: VMM input size %d, want %d", x.Size(), c.Rows)
+	}
+	if dst.Size() != c.Cols {
+		return fmt.Errorf("crossbar: VMM output size %d, want %d", dst.Size(), c.Cols)
+	}
+	if !c.mapped {
+		return ErrNotMapped
+	}
+	c.vmmCore(dst, x)
+	return nil
+}
+
+// vmmCore is the shared compute of VMM and VMMInto; the caller has
+// validated sizes and mapping state.
+func (c *Crossbar) vmmCore(dst, x *tensor.Tensor) {
+	if burst, sigma := c.readBurst(); burst {
+		// A burst-affected read bypasses the cache entirely; bursts are
+		// rare and reuse the crossbar-owned scratch.
+		noisy := c.noisyScratch()
+		c.noisyInto(noisy, sigma)
+		tensor.MatVecTInto(dst, noisy, x)
+		return
+	}
+	c.ensure()
+	tensor.MatVecInto(dst, c.effT, x)
+}
+
+// VMMBatchInto evaluates a whole input batch like VMMBatch, writing
+// into the caller-owned dst (shape [B, Cols]; must not alias x). With a
+// warm cache, no burst, and workers <= 1 this is allocation-free
+// (worker goroutines cost their scheduling). Bit-identical to VMMBatch
+// for every worker count.
+func (c *Crossbar) VMMBatchInto(dst, x *tensor.Tensor, workers int) error {
+	if c.tel.vmmBatchNs != nil {
+		defer func(t0 time.Time) { c.tel.vmmBatchNs.Observe(float64(time.Since(t0))) }(time.Now())
+	}
+	if x.Rank() != 2 || x.Dim(1) != c.Rows {
+		return fmt.Errorf("crossbar: VMMBatch input shape %v, want [B %d]", x.Shape(), c.Rows)
+	}
+	if dst.Rank() != 2 || dst.Dim(0) != x.Dim(0) || dst.Dim(1) != c.Cols {
+		return fmt.Errorf("crossbar: VMMBatch output shape %v, want [%d %d]", dst.Shape(), x.Dim(0), c.Cols)
+	}
+	if !c.mapped {
+		return ErrNotMapped
+	}
+	c.vmmBatchCore(dst, x, workers)
+	return nil
+}
+
+// vmmBatchCore is the shared compute of VMMBatch and VMMBatchInto; the
+// caller has validated shapes and mapping state.
+func (c *Crossbar) vmmBatchCore(dst, x *tensor.Tensor, workers int) {
+	if burst, sigma := c.readBurst(); burst {
+		noisy := c.noisyScratch()
+		c.noisyInto(noisy, sigma)
+		tensor.MatMulWorkersInto(dst, x, noisy, workers)
+		return
+	}
+	c.ensure()
+	tensor.MatMulWorkersInto(dst, x, c.eff, workers)
+}
+
+// Step addresses one tuning pulse of a batch: device (I, J) pulsed in
+// direction Dir (see StepDevice). Steps with Dir == 0 are skipped.
+type Step struct {
+	I, J, Dir int
+}
+
+// StepStats reports what one StepDevices call did.
+type StepStats struct {
+	// Pulses counts programming pulses applied, including failed ones;
+	// Stress is their accumulated cost.
+	Pulses int
+	Stress float64
+	// Applied counts steps whose pulse eventually took.
+	Applied int
+	// Retries counts extra pulses spent re-attempting transient
+	// failures (their stress is included in Stress).
+	Retries int
+	// StuckSkipped counts steps dropped because their device is
+	// permanently stuck (no pulse applied).
+	StuckSkipped int
+}
+
+// StepDevices applies a whole list of tuning pulses in one call: for
+// each step the device is skipped if permanently stuck, otherwise
+// pulsed with up to retryBudget immediate retries of transient
+// programming failures. Per-step semantics, fault-injector draw order,
+// device stress, and cache patching are exactly those of the
+// equivalent IsStuck + StepDevice retry loop (the tuning controller's
+// former inner loop); telemetry is flushed once per call instead of
+// once per pulse, with identical totals. Allocation-free.
+func (c *Crossbar) StepDevices(steps []Step, retryBudget int) StepStats {
+	var st StepStats
+	if retryBudget < 0 {
+		retryBudget = 0
+	}
+	for _, sp := range steps {
+		if sp.Dir == 0 {
+			continue
+		}
+		d := c.at(sp.I, sp.J)
+		if d.Stuck() {
+			st.StuckSkipped++
+			continue
+		}
+		applied := false
+		for attempt := 0; ; attempt++ {
+			if c.inj != nil && c.inj.PulseFails() {
+				st.Stress += d.FailedPulse()
+				st.Pulses++
+			} else {
+				lo, hi := c.agedBoundsIdx(sp.I*c.Cols + sp.J)
+				if lo < c.params.RminFresh {
+					lo = c.params.RminFresh
+				}
+				if hi < lo {
+					hi = lo
+				}
+				st.Stress += d.Pulse(sp.Dir, lo, hi)
+				st.Pulses++
+				c.patch(sp.I, sp.J)
+				applied = true
+			}
+			if applied || attempt >= retryBudget {
+				break
+			}
+			st.Retries++
+		}
+		if applied {
+			st.Applied++
+		}
+	}
+	c.tel.pulses.Add(int64(st.Pulses))
+	c.tel.stress.Add(st.Stress)
+	return st
+}
+
+// QuantizeWeightsInto is the allocation-free QuantizeWeights: dst (same
+// volume as w) receives the hypothetical effective weights of mapping w
+// onto the level grid restricted to [rLo, rHi]. The level window and
+// the eq. (4) constants are hoisted out of the element loop (they
+// depend only on the ranges), and level resistances come from the
+// device grid LUT; every element is bit-identical to the direct
+// per-element computation.
+func (c *Crossbar) QuantizeWeightsInto(dst, w *tensor.Tensor, rLo, rHi float64) {
+	if dst.Size() != w.Size() {
+		panic(fmt.Sprintf("crossbar: quantize into size %d, want %d", dst.Size(), w.Size()))
+	}
+	wMin, wMax := w.MinMax()
+	conv := newMapConv(wMin, wMax, rLo, rHi)
+	g := c.grid
+	loLvl, hiLvl, ok := g.WindowLevels(rLo, rHi)
+	fallback := 0
+	if !ok {
+		// No level inside the window: every target collapses onto the
+		// grid point nearest the window midpoint (NearestLevelIn's
+		// fallback, hoisted — it does not depend on the element).
+		fallback = g.NearestLevel((rLo + rHi) / 2)
+	}
+	dd, wd := dst.Data(), w.Data()
+	for i, v := range wd {
+		lvl := fallback
+		if ok {
+			lvl = g.NearestLevel(conv.target(v))
+			if lvl < loLvl {
+				lvl = loLvl
+			} else if lvl > hiLvl {
+				lvl = hiLvl
+			}
+		}
+		dd[i] = conv.eff(g.LevelResistance(lvl))
+	}
+}

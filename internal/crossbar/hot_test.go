@@ -1,0 +1,481 @@
+package crossbar
+
+import (
+	"fmt"
+	"testing"
+
+	"memlife/internal/aging"
+	"memlife/internal/device"
+	"memlife/internal/fault"
+	"memlife/internal/tensor"
+)
+
+// Oracle-equivalence and allocation tests for the zero-alloc hot path
+// (hot.go): the ...Into kernels against the naive oracles, the
+// flat-walk mapping against a per-cell reimplementation of the original
+// algorithm, and StepDevices against the sequential StepDevice retry
+// loop — all compared with == across fault, aging, and temperature
+// configurations.
+
+// TestVMMIntoMatchesOracle drives a cached/naive pair through the
+// mutation script and compares VMMInto (into a reused destination)
+// against VMMNaive at every step, across temperatures and aging.
+func TestVMMIntoMatchesOracle(t *testing.T) {
+	for _, faults := range []bool{false, true} {
+		t.Run(fmt.Sprintf("faults=%v", faults), func(t *testing.T) {
+			const rows, cols = 9, 7
+			p := newEquivPair(t, rows, cols, faults, 404)
+			params := p.cached.Params()
+			ops := tensor.NewRNG(404)
+
+			w := tensor.New(rows, cols)
+			ops.FillNormal(w, 0, 0.5)
+			x := tensor.New(rows)
+			ops.FillNormal(x, 0, 1)
+			dst := tensor.New(cols)
+
+			p.cached.MapWeights(w, params.RminFresh, params.RmaxFresh)
+			p.naive.MapWeights(w, params.RminFresh, params.RmaxFresh)
+
+			check := func(step string) {
+				t.Helper()
+				if err := p.cached.VMMInto(dst, x); err != nil {
+					t.Fatalf("%s: VMMInto: %v", step, err)
+				}
+				want, err := p.naive.VMMNaive(x)
+				if err != nil {
+					t.Fatalf("%s: VMMNaive: %v", step, err)
+				}
+				for j, v := range want.Data() {
+					if dst.Data()[j] != v {
+						t.Fatalf("%s: output %d differs: into %v, naive %v", step, j, dst.Data()[j], v)
+					}
+				}
+			}
+			check("after map")
+
+			for step := 0; step < 20; step++ {
+				label := fmt.Sprintf("step %d", step)
+				switch ops.Intn(5) {
+				case 0:
+					for k := 0; k < 8; k++ {
+						i, j := ops.Intn(rows), ops.Intn(cols)
+						dir := 1
+						if ops.Float64() < 0.5 {
+							dir = -1
+						}
+						p.cached.StepDevice(i, j, dir)
+						p.naive.StepDevice(i, j, dir)
+					}
+				case 1:
+					p.cached.Drift(0.05, p.rngC)
+					p.naive.Drift(0.05, p.rngN)
+				case 2:
+					p.cached.AddStress(3)
+					p.naive.AddStress(3)
+				case 3: // temperature excursion: memo generation bump
+					tK := 300 + 25*float64(ops.Intn(5))
+					if err := p.cached.SetTempK(tK); err != nil {
+						t.Fatal(err)
+					}
+					if err := p.naive.SetTempK(tK); err != nil {
+						t.Fatal(err)
+					}
+				case 4:
+					p.cached.MapWeights(w, params.RminFresh, params.RmaxFresh)
+					p.naive.MapWeights(w, params.RminFresh, params.RmaxFresh)
+				}
+				check(label)
+			}
+		})
+	}
+}
+
+// TestVMMBatchIntoMatchesOracle pins VMMBatchInto (reused destination)
+// against a single naive readback multiplied through, for worker counts
+// 1, 2, and 8.
+func TestVMMBatchIntoMatchesOracle(t *testing.T) {
+	for _, faults := range []bool{false, true} {
+		for _, workers := range []int{1, 2, 8} {
+			t.Run(fmt.Sprintf("faults=%v/workers=%d", faults, workers), func(t *testing.T) {
+				const rows, cols, batch = 11, 6, 17
+				p := newEquivPair(t, rows, cols, faults, 505)
+				params := p.cached.Params()
+				ops := tensor.NewRNG(6)
+
+				w := tensor.New(rows, cols)
+				ops.FillNormal(w, 0, 0.4)
+				p.cached.MapWeights(w, params.RminFresh, params.RmaxFresh)
+				p.naive.MapWeights(w, params.RminFresh, params.RmaxFresh)
+
+				xb := tensor.New(batch, rows)
+				ops.FillNormal(xb, 0, 1)
+				dst := tensor.New(batch, cols)
+
+				for rep := 0; rep < 8; rep++ {
+					if rep%2 == 1 {
+						p.cached.Drift(0.03, p.rngC)
+						p.naive.Drift(0.03, p.rngN)
+					}
+					if err := p.cached.VMMBatchInto(dst, xb, workers); err != nil {
+						t.Fatal(err)
+					}
+					effN, err := p.naive.EffectiveWeightsNaive()
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := tensor.MatMul(xb, effN)
+					for i, v := range want.Data() {
+						if dst.Data()[i] != v {
+							t.Fatalf("rep %d: batch output %d differs: %v vs %v", rep, i, dst.Data()[i], v)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// oracleMapWeights reprograms cb with the original per-cell MapWeights
+// algorithm through the public API: per-element TargetResistance, fresh
+// model.Bounds from the device's actual stress, Device.Program.
+func oracleMapWeights(cb *Crossbar, w *tensor.Tensor, rLo, rHi float64) MapStats {
+	wMin, wMax := w.MinMax()
+	var stats MapStats
+	for i := 0; i < cb.Rows; i++ {
+		for j := 0; j < cb.Cols; j++ {
+			target := TargetResistance(w.At(i, j), wMin, wMax, rLo, rHi)
+			d := cb.Device(i, j)
+			lo, hi := cb.Model().Bounds(cb.Params(), d.Stress(), cb.TempK())
+			res := d.Program(target, lo, hi)
+			stats.Pulses += res.Pulses
+			stats.Stress += res.Stress
+			if res.Clipped {
+				stats.Clipped++
+			}
+			if res.Stuck {
+				stats.Stuck++
+			}
+		}
+	}
+	return stats
+}
+
+// oracleMapWeightsFaultAware is the per-cell reimplementation of
+// MapWeightsFaultAware: per-column stuck-error compensation, stuck
+// devices skipped.
+func oracleMapWeightsFaultAware(cb *Crossbar, w *tensor.Tensor, rLo, rHi float64) MapStats {
+	wMin, wMax := w.MinMax()
+	comp := make([]float64, cb.Cols)
+	for j := 0; j < cb.Cols; j++ {
+		errSum := 0.0
+		healthy := 0
+		for i := 0; i < cb.Rows; i++ {
+			d := cb.Device(i, j)
+			if d.Stuck() {
+				errSum += EffectiveWeight(d.Resistance(), wMin, wMax, rLo, rHi) - w.At(i, j)
+			} else {
+				healthy++
+			}
+		}
+		if healthy > 0 {
+			comp[j] = -errSum / float64(healthy)
+		}
+	}
+	var stats MapStats
+	for i := 0; i < cb.Rows; i++ {
+		for j := 0; j < cb.Cols; j++ {
+			d := cb.Device(i, j)
+			if d.Stuck() {
+				stats.Skipped++
+				continue
+			}
+			target := TargetResistance(w.At(i, j)+comp[j], wMin, wMax, rLo, rHi)
+			lo, hi := cb.Model().Bounds(cb.Params(), d.Stress(), cb.TempK())
+			res := d.Program(target, lo, hi)
+			stats.Pulses += res.Pulses
+			stats.Stress += res.Stress
+			if res.Clipped {
+				stats.Clipped++
+			}
+		}
+	}
+	return stats
+}
+
+// TestMapWeightsMatchesDirectOracle programs twin arrays — one through
+// the LUT/memo hot path, one through the per-cell oracle — across fresh,
+// aged, hot, and faulted configurations (two mapping passes each, so
+// the memo serves both cold and warm entries), and requires identical
+// MapStats and identical per-device resistance and stress.
+func TestMapWeightsMatchesDirectOracle(t *testing.T) {
+	cases := []struct {
+		name   string
+		aged   bool
+		tempK  float64
+		faults bool
+		aware  bool
+	}{
+		{name: "fresh"},
+		{name: "aged", aged: true},
+		{name: "hot", tempK: 350},
+		{name: "aged-hot", aged: true, tempK: 350},
+		{name: "faulted", faults: true},
+		{name: "fault-aware", faults: true, aware: true},
+		{name: "fault-aware-aged-hot", faults: true, aware: true, aged: true, tempK: 350},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			const rows, cols = 9, 7
+			build := func() *Crossbar {
+				cb, err := New(rows, cols, device.Params32(), aging.DefaultModel(), 300)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tc.faults {
+					inj, err := fault.NewInjector(fault.Config{StuckRate: 0.08, Seed: 31}, rows*cols, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := cb.SetFaultInjector(inj); err != nil {
+						t.Fatal(err)
+					}
+				}
+				return cb
+			}
+			hot, oracle := build(), build()
+			if tc.aged {
+				hot.RandomizeAging(0.3, tensor.NewRNG(8))
+				oracle.RandomizeAging(0.3, tensor.NewRNG(8))
+				hot.AddStress(5)
+				oracle.AddStress(5)
+			}
+			if tc.tempK != 0 {
+				if err := hot.SetTempK(tc.tempK); err != nil {
+					t.Fatal(err)
+				}
+				if err := oracle.SetTempK(tc.tempK); err != nil {
+					t.Fatal(err)
+				}
+			}
+			w := tensor.New(rows, cols)
+			tensor.NewRNG(12).FillNormal(w, 0, 0.5)
+			params := hot.Params()
+
+			compare := func(pass string, gotStats, wantStats MapStats) {
+				t.Helper()
+				if gotStats != wantStats {
+					t.Fatalf("%s: MapStats differ: hot %+v, oracle %+v", pass, gotStats, wantStats)
+				}
+				for i := 0; i < rows; i++ {
+					for j := 0; j < cols; j++ {
+						dh, do := hot.Device(i, j), oracle.Device(i, j)
+						if dh.Resistance() != do.Resistance() {
+							t.Fatalf("%s: device (%d,%d) resistance: hot %v, oracle %v", pass, i, j, dh.Resistance(), do.Resistance())
+						}
+						if dh.Stress() != do.Stress() {
+							t.Fatalf("%s: device (%d,%d) stress: hot %v, oracle %v", pass, i, j, dh.Stress(), do.Stress())
+						}
+					}
+				}
+			}
+
+			rLo, rHi := params.RminFresh, params.RmaxFresh
+			narrowHi := rLo + 0.8*(rHi-rLo)
+			passes := []struct {
+				name string
+				hi   float64
+			}{{"full-range", rHi}, {"narrow-range", narrowHi}}
+			for _, ps := range passes {
+				pass, hi := ps.name, ps.hi
+				var gotStats, wantStats MapStats
+				if tc.aware {
+					gotStats = hot.MapWeightsFaultAware(w, rLo, hi)
+					wantStats = oracleMapWeightsFaultAware(oracle, w, rLo, hi)
+				} else {
+					gotStats = hot.MapWeights(w, rLo, hi)
+					wantStats = oracleMapWeights(oracle, w, rLo, hi)
+				}
+				compare(pass, gotStats, wantStats)
+			}
+		})
+	}
+}
+
+// TestQuantizeWeightsIntoMatchesDirect pins the hoisted LUT quantization
+// against the direct per-element formula, including a window so narrow
+// no level falls inside it (the midpoint fallback).
+func TestQuantizeWeightsIntoMatchesDirect(t *testing.T) {
+	const rows, cols = 6, 11
+	cb := newTestCrossbar(t, rows, cols)
+	p := cb.Params()
+	w := tensor.New(rows, cols)
+	tensor.NewRNG(3).FillNormal(w, 0, 0.7)
+
+	spacing := p.LevelSpacing()
+	ranges := [][2]float64{
+		{p.RminFresh, p.RmaxFresh},
+		{p.RminFresh, p.RminFresh + 0.6*(p.RmaxFresh-p.RminFresh)},
+		{p.RminFresh + 2.5*spacing, p.RmaxFresh - 3.5*spacing},
+		// No grid point inside: strictly between two adjacent levels.
+		{p.RminFresh + 5.3*spacing, p.RminFresh + 5.7*spacing},
+	}
+	dst := tensor.New(rows, cols)
+	for _, rr := range ranges {
+		rLo, rHi := rr[0], rr[1]
+		cb.QuantizeWeightsInto(dst, w, rLo, rHi)
+		wMin, wMax := w.MinMax()
+		for i, v := range w.Data() {
+			target := TargetResistance(v, wMin, wMax, rLo, rHi)
+			lvl := p.NearestLevelIn(target, rLo, rHi)
+			want := EffectiveWeight(p.LevelResistance(lvl), wMin, wMax, rLo, rHi)
+			if dst.Data()[i] != want {
+				t.Fatalf("range [%g,%g], element %d: got %v, want %v", rLo, rHi, i, dst.Data()[i], want)
+			}
+		}
+		// The allocating wrapper returns the same values.
+		out := cb.QuantizeWeights(w, rLo, rHi)
+		for i, v := range out.Data() {
+			if dst.Data()[i] != v {
+				t.Fatalf("range [%g,%g]: wrapper diverges at %d", rLo, rHi, i)
+			}
+		}
+	}
+}
+
+// TestStepDevicesMatchesStepDeviceLoop applies the same pulse list to
+// twin faulted arrays — one through the batched StepDevices, one
+// through the sequential IsStuck + StepDevice retry loop the tuning
+// controller used to run — and requires identical device state, stats,
+// and injector draw consumption.
+func TestStepDevicesMatchesStepDeviceLoop(t *testing.T) {
+	for _, retryBudget := range []int{0, 2} {
+		t.Run(fmt.Sprintf("retries=%d", retryBudget), func(t *testing.T) {
+			const rows, cols = 8, 9
+			p := newEquivPair(t, rows, cols, true, 606)
+			params := p.cached.Params()
+			w := tensor.New(rows, cols)
+			tensor.NewRNG(4).FillNormal(w, 0, 0.5)
+			p.cached.MapWeights(w, params.RminFresh, params.RmaxFresh)
+			p.naive.MapWeights(w, params.RminFresh, params.RmaxFresh)
+
+			ops := tensor.NewRNG(7)
+			steps := make([]Step, 0, 64)
+			for k := 0; k < 64; k++ {
+				dir := 1
+				if ops.Float64() < 0.5 {
+					dir = -1
+				}
+				steps = append(steps, Step{I: ops.Intn(rows), J: ops.Intn(cols), Dir: dir})
+			}
+
+			st := p.cached.StepDevices(steps, retryBudget)
+
+			var want StepStats
+			for _, sp := range steps {
+				if p.naive.IsStuck(sp.I, sp.J) {
+					want.StuckSkipped++
+					continue
+				}
+				s, applied := p.naive.StepDevice(sp.I, sp.J, sp.Dir)
+				want.Stress += s
+				want.Pulses++
+				for attempt := 0; !applied && attempt < retryBudget; attempt++ {
+					want.Retries++
+					s, applied = p.naive.StepDevice(sp.I, sp.J, sp.Dir)
+					want.Stress += s
+					want.Pulses++
+				}
+				if applied {
+					want.Applied++
+				}
+			}
+			if st != want {
+				t.Fatalf("StepStats differ: batched %+v, sequential %+v", st, want)
+			}
+			// Device state and remaining injector streams must agree: one
+			// readback each through their respective paths.
+			x := tensor.New(rows)
+			tensor.NewRNG(11).FillNormal(x, 0, 1)
+			out, err := p.cached.VMM(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outN, err := p.naive.VMMNaive(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j, v := range outN.Data() {
+				if out.Data()[j] != v {
+					t.Fatalf("post-step VMM output %d differs: %v vs %v", j, out.Data()[j], v)
+				}
+			}
+		})
+	}
+}
+
+// TestHotPathZeroAlloc pins the steady-state allocation contract of
+// every ...Into kernel plus MapWeights and StepDevices: after one
+// warming call, zero heap allocations per operation. Skipped under the
+// race detector (instrumentation allocates).
+func TestHotPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	const rows, cols, batch = 16, 12, 8
+	cb := newTestCrossbar(t, rows, cols)
+	params := cb.Params()
+	w := tensor.New(rows, cols)
+	tensor.NewRNG(5).FillNormal(w, 0, 0.5)
+	cb.MapWeights(w, params.RminFresh, params.RmaxFresh)
+
+	x := tensor.New(rows)
+	tensor.NewRNG(6).FillNormal(x, 0, 1)
+	xb := tensor.New(batch, rows)
+	tensor.NewRNG(7).FillNormal(xb, 0, 1)
+	dst := tensor.New(cols)
+	dstB := tensor.New(batch, cols)
+	dstW := tensor.New(rows, cols)
+	steps := []Step{{I: 1, J: 2, Dir: 1}, {I: 3, J: 4, Dir: -1}, {I: 5, J: 1, Dir: 1}}
+
+	assertZero := func(name string, f func()) {
+		t.Helper()
+		f() // warm scratch buffers, memo, and cache
+		if allocs := testing.AllocsPerRun(50, f); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, allocs)
+		}
+	}
+	assertZero("VMMInto", func() {
+		if err := cb.VMMInto(dst, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	assertZero("VMMBatchInto/serial", func() {
+		if err := cb.VMMBatchInto(dstB, xb, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	assertZero("ReadWeightsInto", func() {
+		if err := cb.ReadWeightsInto(dstW); err != nil {
+			t.Fatal(err)
+		}
+	})
+	assertZero("StepDevices", func() { cb.StepDevices(steps, 2) })
+	assertZero("MapWeights", func() { cb.MapWeights(w, params.RminFresh, params.RmaxFresh) })
+	assertZero("QuantizeWeightsInto", func() { cb.QuantizeWeightsInto(dstW, w, params.RminFresh, params.RmaxFresh) })
+
+	// The burst read path reuses the crossbar-owned noisy scratch: with
+	// an always-bursting injector, still zero allocations once warm.
+	inj, err := fault.NewInjector(fault.Config{ReadBurstProb: 0.99, ReadBurstSigma: 0.05, Seed: 9}, rows*cols, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cb.SetFaultInjector(inj); err != nil {
+		t.Fatal(err)
+	}
+	assertZero("VMMInto/burst", func() {
+		if err := cb.VMMInto(dst, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -250,6 +250,10 @@ func (k FaultKind) String() string {
 // plus its irreversible programming history.
 type Device struct {
 	p Params
+	// g is the shared quantization/pulse lookup table for p, resolved
+	// once at construction (see Grid); its methods are bit-identical to
+	// the Params ones.
+	g *Grid
 	// r is the current resistance in Ohms.
 	r float64
 	// stress is the accumulated normalized programming stress that
@@ -272,7 +276,7 @@ func New(p Params) *Device {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
-	return &Device{p: p, r: p.RmaxFresh, agingFactor: 1}
+	return &Device{p: p, g: p.Grid(), r: p.RmaxFresh, agingFactor: 1}
 }
 
 // AgingFactor returns the device's endurance-variability factor.
@@ -330,7 +334,7 @@ func (d *Device) SetFault(k FaultKind) {
 // for a successful pulse; only the resistance stays put. Retried
 // pulses are therefore never free. It returns the stress added.
 func (d *Device) FailedPulse() float64 {
-	s := d.p.PulseStress(d.r) * d.agingFactor
+	s := d.g.PulseStress(d.r) * d.agingFactor
 	d.stress += s
 	d.pulses++
 	return s
@@ -375,10 +379,10 @@ func (d *Device) Pulse(dir int, lo, hi float64) float64 {
 	if d.Stuck() {
 		return d.FailedPulse()
 	}
-	s := d.p.PulseStress(d.r) * d.agingFactor
+	s := d.g.PulseStress(d.r) * d.agingFactor
 	d.stress += s
 	d.pulses++
-	g := 1/d.r + float64(sign(dir))*d.p.TunePulseDeltaG()
+	g := 1/d.r + float64(sign(dir))*d.g.TunePulseDeltaG()
 	if g < 1/hi {
 		g = 1 / hi
 	}
@@ -429,8 +433,8 @@ func (d *Device) Program(target, lo, hi float64) ProgramResult {
 		// their fault map marks as stuck.
 		res.Stuck = true
 		res.Achieved = d.r
-		goalLvl := d.p.NearestLevelIn(target, lo, hi)
-		if d.p.LevelResistance(goalLvl) != d.r {
+		goalLvl := d.g.NearestLevelIn(target, lo, hi)
+		if d.g.LevelResistance(goalLvl) != d.r {
 			res.Stress = d.FailedPulse()
 			res.Pulses = 1
 		}
@@ -442,13 +446,13 @@ func (d *Device) Program(target, lo, hi float64) ProgramResult {
 	} else if goal > hi {
 		goal, res.Clipped = hi, true
 	}
-	goalLvl := d.p.NearestLevelIn(goal, lo, hi)
-	goalR := d.p.LevelResistance(goalLvl)
+	goalLvl := d.g.NearestLevelIn(goal, lo, hi)
+	goalR := d.g.LevelResistance(goalLvl)
 
-	curLvl := d.p.NearestLevel(d.r)
+	curLvl := d.g.NearestLevel(d.r)
 	// Off-grid (drifted) resistance needs at least one corrective pulse
 	// even when the nearest level equals the goal level.
-	needsCorrection := math.Abs(d.r-goalR) > d.p.LevelSpacing()*0.01
+	needsCorrection := math.Abs(d.r-goalR) > d.g.LevelSpacing()*0.01
 
 	step := 1
 	if goalLvl < curLvl {
@@ -456,15 +460,15 @@ func (d *Device) Program(target, lo, hi float64) ProgramResult {
 	}
 	for lvl := curLvl; lvl != goalLvl; lvl += step {
 		// Pulse applied while the device sits at the current state.
-		s := d.p.PulseStress(d.r) * d.agingFactor
+		s := d.g.PulseStress(d.r) * d.agingFactor
 		d.stress += s
 		res.Stress += s
 		res.Pulses++
 		d.pulses++
-		d.r = d.p.LevelResistance(lvl + step)
+		d.r = d.g.LevelResistance(lvl + step)
 	}
 	if res.Pulses == 0 && needsCorrection {
-		s := d.p.PulseStress(d.r) * d.agingFactor
+		s := d.g.PulseStress(d.r) * d.agingFactor
 		d.stress += s
 		res.Stress += s
 		res.Pulses = 1

@@ -148,7 +148,7 @@ func Map(mn *crossbar.MappedNetwork, cfg Config, evalX *tensor.Tensor, evalY []i
 		res.Selections = append(res.Selections, sel)
 		// Commit this layer's hypothetical quantized weights so later
 		// layers are scored against it (greedy sequential selection).
-		l.Param.W.CopyFrom(l.Crossbar.QuantizeWeights(l.Target, sel.RLo, sel.RHi))
+		l.Crossbar.QuantizeWeightsInto(l.Param.W, l.Target, sel.RLo, sel.RHi)
 	}
 	// Only now touch hardware: one programming pass per layer.
 	for i, sel := range res.Selections {
@@ -239,7 +239,7 @@ func selectRange(mn *crossbar.MappedNetwork, i int, cfg Config, evalX *tensor.Te
 		saved := l.Param.W.Clone()
 		for i := len(candidates) - 1; i >= 0; i-- {
 			hi := candidates[i]
-			l.Param.W.CopyFrom(l.Crossbar.QuantizeWeights(l.Target, rLo, hi))
+			l.Crossbar.QuantizeWeightsInto(l.Param.W, l.Target, rLo, hi)
 			acc := mn.Net.Accuracy(evalX, evalY)
 			sel.Candidates = append(sel.Candidates, CandidateScore{RHi: hi, Accuracy: acc})
 			if acc > bestAcc {

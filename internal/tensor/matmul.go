@@ -30,12 +30,32 @@ func MatMulInto(dst, a, b *Tensor) {
 	matMulRows(dst, a, b, 0, m)
 }
 
+// Cache-blocking parameters for the tiled matmul kernel. A b-tile is
+// blockK x blockN float64s (256 KiB), sized to stay resident in L2
+// while every row of the chunk streams over it. Blocking only pays once
+// b itself outgrows the cache, so small products keep the simple
+// streaming kernel (and its exact per-op cost profile).
+const (
+	matMulBlockK = 128
+	matMulBlockN = 256
+	// matMulBlockMinFloats is the size of b (k*n elements) above which
+	// matMulRows switches to the tiled kernel.
+	matMulBlockMinFloats = matMulBlockK * matMulBlockN
+)
+
 // matMulRows computes rows [r0, r1) of dst = a @ b. Each output row is
 // written exactly once and touched by exactly one caller, so disjoint
 // row ranges may run concurrently and the result is bit-identical to a
-// serial pass whatever the partitioning.
+// serial pass whatever the partitioning. Large products dispatch to the
+// cache-blocked kernel; every output element accumulates its products
+// in ascending p order with the same zero-input skip in both kernels,
+// so the choice never changes the output bits.
 func matMulRows(dst, a, b *Tensor, r0, r1 int) {
 	k, n := a.shape[1], b.shape[1]
+	if k*n > matMulBlockMinFloats {
+		matMulRowsBlocked(dst, a, b, r0, r1)
+		return
+	}
 	for i := r0; i < r1; i++ {
 		arow := a.data[i*k : (i+1)*k]
 		drow := dst.data[i*n : (i+1)*n]
@@ -50,6 +70,48 @@ func matMulRows(dst, a, b *Tensor, r0, r1 int) {
 			brow := b.data[p*n : (p+1)*n]
 			for j, bv := range brow {
 				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// matMulRowsBlocked is the tiled variant of matMulRows: b is walked one
+// blockK x blockN tile at a time so each tile is loaded from memory
+// once and reused by every row of the chunk while it sits in cache.
+// The p-tile loop is outermost and ascends, and within a tile p
+// ascends, so each dst element still receives its partial products in
+// exactly the order of the streaming kernel.
+func matMulRowsBlocked(dst, a, b *Tensor, r0, r1 int) {
+	k, n := a.shape[1], b.shape[1]
+	for i := r0; i < r1; i++ {
+		drow := dst.data[i*n : (i+1)*n]
+		for j := range drow {
+			drow[j] = 0
+		}
+	}
+	for p0 := 0; p0 < k; p0 += matMulBlockK {
+		p1 := p0 + matMulBlockK
+		if p1 > k {
+			p1 = k
+		}
+		for j0 := 0; j0 < n; j0 += matMulBlockN {
+			j1 := j0 + matMulBlockN
+			if j1 > n {
+				j1 = n
+			}
+			for i := r0; i < r1; i++ {
+				arow := a.data[i*k : (i+1)*k]
+				drow := dst.data[i*n+j0 : i*n+j1]
+				for p := p0; p < p1; p++ {
+					av := arow[p]
+					if av == 0 {
+						continue
+					}
+					brow := b.data[p*n+j0 : p*n+j1]
+					for j, bv := range brow {
+						drow[j] += av * bv
+					}
+				}
 			}
 		}
 	}
@@ -113,18 +175,54 @@ func MatVec(a, x *Tensor) *Tensor {
 	if len(a.shape) != 2 || len(x.shape) != 1 {
 		panic(fmt.Sprintf("tensor: MatVec needs [m,k]@[k], got %v and %v", a.shape, x.shape))
 	}
+	out := New(a.shape[0])
+	MatVecInto(out, a, x)
+	return out
+}
+
+// MatVecInto computes dst = a @ x for a[m,k] and x[k], reusing dst's
+// storage (rank-1, length m). dst must not alias x. Bit-identical to
+// MatVec.
+func MatVecInto(dst, a, x *Tensor) {
 	m, k := a.shape[0], a.shape[1]
-	if x.shape[0] != k {
-		panic(fmt.Sprintf("tensor: MatVec dimension mismatch %v @ %v", a.shape, x.shape))
+	if x.Size() != k {
+		panic(fmt.Sprintf("tensor: MatVecInto dimension mismatch %v @ %v", a.shape, x.shape))
 	}
-	out := New(m)
+	if dst.Size() != m {
+		panic(fmt.Sprintf("tensor: MatVecInto dst size %d, want %d", dst.Size(), m))
+	}
 	for i := 0; i < m; i++ {
 		row := a.data[i*k : (i+1)*k]
 		s := 0.0
 		for p, v := range row {
 			s += v * x.data[p]
 		}
-		out.data[i] = s
+		dst.data[i] = s
 	}
-	return out
+}
+
+// MatVecTInto computes dst = aᵀ @ x for a[k,m] and x[k] without
+// materializing the transpose: dst_j = sum_i a[i][j] * x_i, accumulated
+// in ascending i like a MatVec over an explicit transpose, so the
+// result is bit-identical to MatVec(a.Transpose(), x) while streaming
+// a's rows sequentially. dst (rank-1, length m) must not alias x.
+func MatVecTInto(dst, a, x *Tensor) {
+	k, m := a.shape[0], a.shape[1]
+	if x.Size() != k {
+		panic(fmt.Sprintf("tensor: MatVecTInto dimension mismatch %vᵀ @ %v", a.shape, x.shape))
+	}
+	if dst.Size() != m {
+		panic(fmt.Sprintf("tensor: MatVecTInto dst size %d, want %d", dst.Size(), m))
+	}
+	d := dst.data[:m]
+	for j := range d {
+		d[j] = 0
+	}
+	for i := 0; i < k; i++ {
+		xi := x.data[i]
+		row := a.data[i*m : (i+1)*m]
+		for j, v := range row {
+			d[j] += v * xi
+		}
+	}
 }

@@ -167,6 +167,10 @@ func tune(mn *crossbar.MappedNetwork, ds *dataset.Dataset, evalX *tensor.Tensor,
 	batches := ds.Batches(cfg.BatchSize, rng)
 	next := 0
 
+	// One arena serves the whole run: after the first iteration sizes
+	// its buffers, the gradient-to-pulse stage runs allocation-free.
+	var ar arena
+
 	bestAcc := -1.0
 	sinceImprovement := 0
 	iters := 0
@@ -196,7 +200,7 @@ func tune(mn *crossbar.MappedNetwork, ds *dataset.Dataset, evalX *tensor.Tensor,
 		}
 		b := batches[next]
 		next = (next + 1) % len(batches)
-		retries, skipped, err := step(mn, b, cfg.StepFrac, cfg.RetryBudget)
+		retries, skipped, err := step(mn, b, cfg.StepFrac, cfg.RetryBudget, &ar)
 		if err != nil {
 			return res, err
 		}
@@ -224,7 +228,7 @@ func tune(mn *crossbar.MappedNetwork, ds *dataset.Dataset, evalX *tensor.Tensor,
 // whose weights see larger gradients — convolutional kernels, whose
 // gradients sum over all spatial positions — receive more pulses and
 // age faster, reproducing the conv-vs-FC asymmetry of Fig. 11.
-func step(mn *crossbar.MappedNetwork, b dataset.Batch, frac float64, retryBudget int) (retries, skipped int64, err error) {
+func step(mn *crossbar.MappedNetwork, b dataset.Batch, frac float64, retryBudget int, ar *arena) (retries, skipped int64, err error) {
 	if err := mn.Refresh(); err != nil {
 		return 0, 0, err
 	}
@@ -233,40 +237,70 @@ func step(mn *crossbar.MappedNetwork, b dataset.Batch, frac float64, retryBudget
 	_, dlogits := nn.SoftmaxCrossEntropy(logits, b.Y)
 	mn.Net.Backward(dlogits)
 
+	retries, skipped = applyPulses(mn, frac, retryBudget, ar)
+	return retries, skipped, nil
+}
+
+// arena holds the reusable scratch of one tuning run: the
+// absolute-gradient gather used for the global threshold and the
+// per-layer pulse list handed to StepDevices. Buffers grow to steady
+// size on the first iteration and are reused for the rest of the run
+// (see DESIGN.md "Scratch arenas & buffer ownership").
+type arena struct {
+	abs   []float64
+	steps []crossbar.Step
+}
+
+// applyPulses runs the gradient-to-pulse stage of one tuning iteration:
+// gather gradient magnitudes, pick the global threshold, and pulse each
+// layer's above-threshold devices through the batched StepDevices. With
+// a warmed arena this stage performs zero heap allocations. The
+// gradients in mn.Layers must be current (step computes them first).
+func applyPulses(mn *crossbar.MappedNetwork, frac float64, retryBudget int, ar *arena) (retries, skipped int64) {
 	total := 0
 	for _, l := range mn.Layers {
 		total += l.Param.Grad.Size()
 	}
-	all := make([]float64, 0, total)
+	abs := ar.abs[:0]
 	for _, l := range mn.Layers {
-		all = append(all, l.Param.Grad.Data()...)
+		for _, v := range l.Param.Grad.Data() {
+			if v < 0 {
+				v = -v
+			}
+			abs = append(abs, v)
+		}
 	}
+	ar.abs = abs
 	k := int(float64(total) * frac)
 	if k < 1 {
 		k = 1
 	}
-	thr := kthLargestAbs(all, k)
+	thr := kthLargestAbs(abs, k)
 	if thr == 0 {
-		return 0, 0, nil // gradient vanished; nothing to tune
+		return 0, 0 // gradient vanished; nothing to tune
 	}
 	for _, l := range mn.Layers {
-		r, s := pulseLayer(l, thr, retryBudget)
+		r, s := pulseLayer(l, thr, retryBudget, ar)
 		retries += r
 		skipped += s
 	}
-	return retries, skipped, nil
+	return retries, skipped
 }
 
 // pulseLayer applies sign pulses to every device of the layer whose
-// gradient magnitude reaches the global threshold. Permanently stuck
+// gradient magnitude reaches the global threshold, by building the
+// layer's pulse list in the arena and applying it with one batched
+// StepDevices call (one cache patch per moved cell, one telemetry
+// flush). The per-device semantics are unchanged: permanently stuck
 // devices are skipped — pulsing a dead cell burns endurance-neutral
 // write energy for zero movement, so the controller spends its budget
-// on cells that can still respond. A pulse that fails transiently is
-// retried up to retryBudget times; every attempt, failed or not, ages
-// the device.
-func pulseLayer(l *crossbar.MappedLayer, thr float64, retryBudget int) (retries, skipped int64) {
+// on cells that can still respond — and a pulse that fails transiently
+// is retried up to retryBudget times; every attempt, failed or not,
+// ages the device.
+func pulseLayer(l *crossbar.MappedLayer, thr float64, retryBudget int, ar *arena) (retries, skipped int64) {
 	g := l.Param.Grad.Data()
 	cols := l.Crossbar.Cols
+	steps := ar.steps[:0]
 	for idx, gv := range g {
 		a := gv
 		if a < 0 {
@@ -279,29 +313,16 @@ func pulseLayer(l *crossbar.MappedLayer, thr float64, retryBudget int) (retries,
 		if gv < 0 {
 			dir = +1
 		}
-		i, j := idx/cols, idx%cols
-		if l.Crossbar.IsStuck(i, j) {
-			skipped++
-			continue
-		}
-		_, applied := l.Crossbar.StepDevice(i, j, dir)
-		for attempt := 0; !applied && attempt < retryBudget; attempt++ {
-			retries++
-			_, applied = l.Crossbar.StepDevice(i, j, dir)
-		}
+		steps = append(steps, crossbar.Step{I: idx / cols, J: idx % cols, Dir: dir})
 	}
-	return retries, skipped
+	ar.steps = steps
+	st := l.Crossbar.StepDevices(steps, retryBudget)
+	return int64(st.Retries), int64(st.StuckSkipped)
 }
 
-// kthLargestAbs returns the k-th largest absolute value in g (1-based).
-func kthLargestAbs(g []float64, k int) float64 {
-	abs := make([]float64, len(g))
-	for i, v := range g {
-		if v < 0 {
-			v = -v
-		}
-		abs[i] = v
-	}
+// kthLargestAbs returns the k-th largest value in abs (1-based),
+// sorting abs in place; entries must already be absolute values.
+func kthLargestAbs(abs []float64, k int) float64 {
 	sort.Float64s(abs)
 	idx := len(abs) - k
 	if idx < 0 {

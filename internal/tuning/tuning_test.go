@@ -144,14 +144,16 @@ func TestTuningAgesTheArray(t *testing.T) {
 }
 
 func TestKthLargestAbs(t *testing.T) {
-	g := []float64{-5, 1, 3, -2, 4}
-	if got := kthLargestAbs(g, 1); got != 5 {
+	// kthLargestAbs takes magnitudes and sorts its argument in place, so
+	// each case gets a fresh slice.
+	abs := func() []float64 { return []float64{5, 1, 3, 2, 4} }
+	if got := kthLargestAbs(abs(), 1); got != 5 {
 		t.Fatalf("k=1: got %g, want 5", got)
 	}
-	if got := kthLargestAbs(g, 3); got != 3 {
+	if got := kthLargestAbs(abs(), 3); got != 3 {
 		t.Fatalf("k=3: got %g, want 3", got)
 	}
-	if got := kthLargestAbs(g, 10); got != 1 {
+	if got := kthLargestAbs(abs(), 10); got != 1 {
 		t.Fatalf("k beyond length must clamp to min abs, got %g", got)
 	}
 }
