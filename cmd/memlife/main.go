@@ -109,9 +109,11 @@ type cliConfig struct {
 	resume      bool
 	stream      bool
 
-	scenario string
-	dumpSpec bool
-	version  bool
+	scenario     string
+	deviceModel  string
+	tuningPolicy string
+	dumpSpec     bool
+	version      bool
 
 	metricsOut string
 	traceOut   string
@@ -165,6 +167,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&c.resume, "resume", false, "campaign: skip shards already journaled in the checkpoint")
 	fs.BoolVar(&c.stream, "stream", false, "campaign: aggregate shard metrics online in constant memory (adds quantiles, drops the per-shard list from the JSON)")
 	fs.StringVar(&c.scenario, "scenario", "", "run one scenario spec file (JSON, see examples/scenarios/); flags set explicitly override the file")
+	fs.StringVar(&c.deviceModel, "device-model", "", "override the device-physics model kind: linear, mms, yacopcic or diffusive")
+	fs.StringVar(&c.tuningPolicy, "tuning-policy", "", "override the tuning pulse-selection policy: sign, recalib or minreprog")
 	fs.BoolVar(&c.dumpSpec, "dump-spec", false, "resolve the scenario spec (defaults, -scenario file, flags) and print it as JSON instead of running")
 	fs.BoolVar(&c.version, "version", false, "print the build version and exit")
 	fs.StringVar(&c.metricsOut, "metrics-out", "", "write a telemetry snapshot (canonical JSON) to this file on exit")
@@ -188,6 +192,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			c.overrides.Seed = &c.seed
 		case "eval-workers":
 			c.overrides.Workers = &c.evalWorkers
+		case "device-model":
+			c.overrides.DeviceModel = &c.deviceModel
+		case "tuning-policy":
+			c.overrides.TuningPolicy = &c.tuningPolicy
 		}
 	})
 	if fs.NArg() > 0 {

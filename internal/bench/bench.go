@@ -299,6 +299,24 @@ func kernels() ([]kernel, error) {
 				cb.QuantizeWeightsInto(dst, w, p.RminFresh, p.RmaxFresh)
 			}
 		}},
+		{name: "model/pulse", maxAllocs: &zeroAlloc, maxBytes: &zeroAlloc, run: func(b *testing.B) {
+			// The full stochastic pulse path through the model zoo:
+			// stress accrual, the counter-based C2C draw, the diffusive
+			// StepG (lognormal scaling + relaxation) and the window
+			// clamp. Models are cached per Params value and the noise
+			// stream is pure counter arithmetic, so dispatching device
+			// physics through the Model interface must stay free of
+			// per-pulse allocations.
+			p := device.Params32()
+			p.Model = device.ModelSpec{Kind: device.ModelDiffusive, D2D: 0.05, C2C: 0.02}
+			d := device.New(p)
+			d.SeedNoise(42)
+			lo, hi := p.RminFresh, p.RmaxFresh
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Pulse(1-2*(i&1), lo, hi)
+			}
+		}},
 		{name: "stepdevice/batch", maxAllocs: &zeroAlloc, maxBytes: &zeroAlloc, run: func(b *testing.B) {
 			// Batched tuning pulses: one StepDevices call applying a
 			// quarter of the array per op, patching the cache per cell.

@@ -151,9 +151,9 @@ func TestSpeedup(t *testing.T) {
 func TestNamesCoverTheContract(t *testing.T) {
 	want := []string{
 		"effweights/cached", "effweights/naive", "fleet/tick",
-		"mapweights", "mapweights/lut", "matmul", "stepdevice/batch",
-		"telemetry/counter_disabled", "vmm/cached", "vmm/naive",
-		"vmmbatch", "vmmbatch/into",
+		"mapweights", "mapweights/lut", "matmul", "model/pulse",
+		"stepdevice/batch", "telemetry/counter_disabled",
+		"vmm/cached", "vmm/naive", "vmmbatch", "vmmbatch/into",
 	}
 	got := Names()
 	sort.Strings(want)

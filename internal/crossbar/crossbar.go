@@ -59,6 +59,10 @@ type Crossbar struct {
 	// derived constants) the mapping/quantization hot paths read from.
 	grid *device.Grid
 
+	// devModel is the shared pulse-response model of the technology
+	// (device.Model); the default is the linear model.
+	devModel device.Model
+
 	// Aged-bounds memo (see hot.go): per-device cached [lo, hi] window
 	// keyed by the exact stress it was computed at; bGen invalidates all
 	// entries at once (temperature changes), bEvalOK tracks whether
@@ -97,12 +101,29 @@ func New(rows, cols int, p device.Params, m aging.Model, tempK float64) (*Crossb
 		traceStride: 3,
 		tel:         newCrossbarTel(),
 		grid:        p.Grid(),
+		devModel:    p.ResolveModel(),
 		bGen:        1, // bSeen zero-values must read as "never computed"
 	}
 	for i := range cb.devices {
 		cb.devices[i] = device.New(p)
+		cb.devices[i].SeedNoise(uint64(i))
 	}
 	return cb, nil
+}
+
+// DeviceModel returns the shared pulse-response model of the array's
+// technology.
+func (c *Crossbar) DeviceModel() device.Model { return c.devModel }
+
+// SeedDeviceNoise re-derives every device's deterministic noise streams
+// from base + its row-major index. MappedNetwork seeds each layer's
+// crossbar with a distinct base so device-to-device draws decorrelate
+// across layers; for models without variation the draws are never
+// consulted and reseeding is behavior-free.
+func (c *Crossbar) SeedDeviceNoise(base uint64) {
+	for i, d := range c.devices {
+		d.SeedNoise(base + uint64(i))
+	}
 }
 
 // Params returns the device technology parameters.
@@ -396,6 +417,38 @@ func (c *Crossbar) Drift(sigma float64, rng *tensor.RNG) {
 			d := c.at(i, j)
 			lo, hi := c.AgedBounds(i, j)
 			d.Drift(rng.Normal(0, sigma*d.Resistance()), lo, hi)
+		}
+	}
+	c.tel.invalDrift.Inc()
+	c.invalidate() // every healthy device may have moved
+}
+
+// StateDrift applies one interval of spontaneous conductance state
+// drift (device.DriftSpec): every healthy device's conductance
+// excursion above the model's minimum decays by the multiplicative
+// factor — G <- gMin + (G - gMin) * factor — clamped to the device's
+// aged window like recoverable read-disturb drift. Unlike Drift this is
+// fully deterministic (the power law needs no randomness), and unlike
+// aging it moves state, not bounds: it is the retention loss that
+// scale-recalibration policies compensate without reprogramming.
+// A factor of 1 (or outside (0, 1]) is a no-op.
+func (c *Crossbar) StateDrift(factor float64) {
+	if !(factor > 0 && factor < 1) {
+		return
+	}
+	gMin, _ := c.devModel.GBounds()
+	for i := 0; i < c.Rows; i++ {
+		for j := 0; j < c.Cols; j++ {
+			d := c.at(i, j)
+			if d.Stuck() {
+				continue
+			}
+			g := gMin + (1/d.Resistance()-gMin)*factor
+			if !(g > 0) {
+				continue
+			}
+			lo, hi := c.AgedBounds(i, j)
+			d.Drift(1/g-d.Resistance(), lo, hi)
 		}
 	}
 	c.tel.invalDrift.Inc()

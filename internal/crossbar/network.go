@@ -22,6 +22,13 @@ type MappedLayer struct {
 	// Target holds the software-trained weights, the source of every
 	// (re)mapping.
 	Target *tensor.Tensor
+	// Gain is the layer's digital output-scaling factor: Refresh
+	// multiplies the effective weights by it before inference. It is
+	// the knob of AIDX-style scale recalibration (tuning policy
+	// "recalib"), which compensates uniform conductance drift in the
+	// periphery instead of reprogramming devices. 1 (the initial and
+	// post-remap value) applies no scaling and costs nothing.
+	Gain float64
 }
 
 // MappedNetwork is a neural network deployed onto memristor crossbars:
@@ -43,12 +50,16 @@ func NewMappedNetwork(net *nn.Network, p device.Params, m aging.Model, tempK flo
 		if err != nil {
 			return nil, fmt.Errorf("crossbar: layer %s: %w", wl.Param.Name, err)
 		}
+		// Decorrelate the per-device noise draws across layers (a pure
+		// no-op for models without variation).
+		cb.SeedDeviceNoise(uint64(len(mn.Layers)+1) << 32)
 		mn.Layers = append(mn.Layers, &MappedLayer{
 			Name:     wl.Param.Name,
 			Kind:     wl.Kind,
 			Crossbar: cb,
 			Param:    wl.Param,
 			Target:   wl.Param.W.Clone(),
+			Gain:     1,
 		})
 	}
 	return mn, nil
@@ -164,8 +175,33 @@ func (m *MappedNetwork) Refresh() error {
 		if err := l.Crossbar.ReadWeightsInto(l.Param.W); err != nil {
 			return fmt.Errorf("crossbar: refresh layer %s: %w", l.Name, err)
 		}
+		if l.Gain != 1 && l.Gain != 0 {
+			// Digital output scaling (recalibration policy); skipped
+			// entirely at the default gain so the hot path is untouched.
+			wd := l.Param.W.Data()
+			for i := range wd {
+				wd[i] *= l.Gain
+			}
+		}
 	}
 	return nil
+}
+
+// ResetGains restores every layer's digital scaling to 1 — remapping
+// reprograms the devices to their targets, so any drift compensation
+// the gains were carrying is stale.
+func (m *MappedNetwork) ResetGains() {
+	for _, l := range m.Layers {
+		l.Gain = 1
+	}
+}
+
+// StateDrift applies one interval of spontaneous conductance state
+// drift to every crossbar (see Crossbar.StateDrift).
+func (m *MappedNetwork) StateDrift(factor float64) {
+	for _, l := range m.Layers {
+		l.Crossbar.StateDrift(factor)
+	}
 }
 
 // Accuracy refreshes the effective weights and classifies the batch.

@@ -52,6 +52,15 @@ type Params struct {
 	// Negative values are rejected by Validate; to disable derating,
 	// leave the field zero (or set it to exactly 1).
 	StressDerate float64 `json:"stress_derate"`
+	// Model selects the pulse-response physics (see ModelSpec and the
+	// Model interface). The zero value is the linear model and is
+	// omitted from serialization, so specs written before the model zoo
+	// keep their historical fingerprints.
+	Model ModelSpec `json:"model,omitzero"`
+	// Drift configures spontaneous conductance state drift (see
+	// DriftSpec). The zero value disables it and is omitted from
+	// serialization.
+	Drift DriftSpec `json:"drift,omitzero"`
 }
 
 // stressDerate returns the effective derating factor.
@@ -76,7 +85,10 @@ func (p Params) Validate() error {
 	case p.StressDerate < 0:
 		return fmt.Errorf("device: stress derating must be non-negative, got %g", p.StressDerate)
 	}
-	return nil
+	if err := p.Model.validate(); err != nil {
+		return err
+	}
+	return p.Drift.validate()
 }
 
 // Params32 returns a 32-level TiOx-style device (after [14]): a 10 kOhm
@@ -118,63 +130,24 @@ func (p Params) LevelResistance(i int) float64 {
 func (p Params) LevelConductance(i int) float64 { return 1 / p.LevelResistance(i) }
 
 // NearestLevel returns the level index whose resistance is closest to r,
-// clamped to the grid.
-func (p Params) NearestLevel(r float64) int {
-	i := int(math.Round((r - p.RminFresh) / p.LevelSpacing()))
-	if i < 0 {
-		i = 0
-	}
-	if i >= p.Levels {
-		i = p.Levels - 1
-	}
-	return i
-}
+// clamped to the grid. It dispatches through the shared Grid LUT — the
+// single home of the level-selection arithmetic (the direct formula
+// lives in Grid.NearestLevel, fuzz-pinned against a reference
+// implementation by FuzzQuantLUTMatchesDirect).
+func (p Params) NearestLevel(r float64) int { return p.Grid().NearestLevel(r) }
 
 // NearestLevelIn returns the level index closest to r among levels whose
 // resistance lies within [lo, hi]. When no level falls inside the
 // window it returns the level nearest to the window. This implements
 // the clipping of Fig. 4: a target of Level 7 on a device aged down to
-// three usable levels lands on Level 2.
-func (p Params) NearestLevelIn(r, lo, hi float64) int {
-	loLvl := int(math.Ceil((lo - p.RminFresh) / p.LevelSpacing()))
-	hiLvl := int(math.Floor((hi - p.RminFresh) / p.LevelSpacing()))
-	if loLvl < 0 {
-		loLvl = 0
-	}
-	if hiLvl >= p.Levels {
-		hiLvl = p.Levels - 1
-	}
-	if loLvl > hiLvl {
-		// No level inside the aged window; use the nearest grid point
-		// to the window midpoint.
-		return p.NearestLevel((lo + hi) / 2)
-	}
-	i := p.NearestLevel(r)
-	if i < loLvl {
-		return loLvl
-	}
-	if i > hiLvl {
-		return hiLvl
-	}
-	return i
-}
+// three usable levels lands on Level 2. Dispatches through the Grid LUT
+// (see NearestLevel).
+func (p Params) NearestLevelIn(r, lo, hi float64) int { return p.Grid().NearestLevelIn(r, lo, hi) }
 
 // UsableLevels counts the levels of the fresh grid that remain inside
-// the aged range [lo, hi] (Fig. 4's level-count decay).
-func (p Params) UsableLevels(lo, hi float64) int {
-	loLvl := int(math.Ceil((lo - p.RminFresh) / p.LevelSpacing()))
-	hiLvl := int(math.Floor((hi - p.RminFresh) / p.LevelSpacing()))
-	if loLvl < 0 {
-		loLvl = 0
-	}
-	if hiLvl >= p.Levels {
-		hiLvl = p.Levels - 1
-	}
-	if loLvl > hiLvl {
-		return 0
-	}
-	return hiLvl - loLvl + 1
-}
+// the aged range [lo, hi] (Fig. 4's level-count decay). Dispatches
+// through the Grid LUT (see NearestLevel).
+func (p Params) UsableLevels(lo, hi float64) int { return p.Grid().UsableLevels(lo, hi) }
 
 // TunePulseDeltaG returns the conductance change of one online-tuning
 // pulse. Tuning pulses are small constant-amplitude nudges (eq. (5))
@@ -254,6 +227,16 @@ type Device struct {
 	// once at construction (see Grid); its methods are bit-identical to
 	// the Params ones.
 	g *Grid
+	// m is the shared pulse-response model for p (see Model), resolved
+	// once at construction; equal to m.Grid()'s owner for the grid.
+	m Model
+	// noiseSeed keys the device's deterministic pulse-noise streams
+	// (see SeedNoise); d2d is its fixed device-to-device draw and noisy
+	// caches whether the model consults per-pulse draws at all, so the
+	// default (variation-free) pulse path never derives noise.
+	noiseSeed uint64
+	d2d       float64
+	noisy     bool
 	// r is the current resistance in Ohms.
 	r float64
 	// stress is the accumulated normalized programming stress that
@@ -276,8 +259,13 @@ func New(p Params) *Device {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
-	return &Device{p: p, g: p.Grid(), r: p.RmaxFresh, agingFactor: 1}
+	d := &Device{p: p, g: p.Grid(), m: p.ResolveModel(), r: p.RmaxFresh, agingFactor: 1}
+	d.SeedNoise(0)
+	return d
 }
+
+// Model returns the device's shared pulse-response model.
+func (d *Device) Model() Model { return d.m }
 
 // AgingFactor returns the device's endurance-variability factor.
 func (d *Device) AgingFactor() float64 { return d.agingFactor }
@@ -334,7 +322,7 @@ func (d *Device) SetFault(k FaultKind) {
 // for a successful pulse; only the resistance stays put. Retried
 // pulses are therefore never free. It returns the stress added.
 func (d *Device) FailedPulse() float64 {
-	s := d.g.PulseStress(d.r) * d.agingFactor
+	s := d.m.PulseStress(d.r) * d.agingFactor
 	d.stress += s
 	d.pulses++
 	return s
@@ -367,8 +355,9 @@ func (d *Device) AddStress(s float64) {
 	d.stress += s * d.agingFactor
 }
 
-// Pulse applies one online-tuning pulse: the conductance moves by
-// dir * TunePulseDeltaG, with the resistance clamped to the valid
+// Pulse applies one online-tuning pulse: the conductance moves per the
+// device's pulse-response model (for the linear model, by
+// dir * TunePulseDeltaG), with the resistance clamped to the valid
 // window [lo, hi]. The pulse costs stress whether or not the device
 // could move (a pinned device still dissipates the programming power).
 // It returns the stress added.
@@ -379,10 +368,14 @@ func (d *Device) Pulse(dir int, lo, hi float64) float64 {
 	if d.Stuck() {
 		return d.FailedPulse()
 	}
-	s := d.g.PulseStress(d.r) * d.agingFactor
+	s := d.m.PulseStress(d.r) * d.agingFactor
 	d.stress += s
 	d.pulses++
-	g := 1/d.r + float64(sign(dir))*d.g.TunePulseDeltaG()
+	var c2c float64
+	if d.noisy {
+		c2c = d.c2cDraw()
+	}
+	g := d.m.StepG(1/d.r, dir, d.d2d, c2c)
 	if g < 1/hi {
 		g = 1 / hi
 	}
@@ -460,7 +453,7 @@ func (d *Device) Program(target, lo, hi float64) ProgramResult {
 	}
 	for lvl := curLvl; lvl != goalLvl; lvl += step {
 		// Pulse applied while the device sits at the current state.
-		s := d.g.PulseStress(d.r) * d.agingFactor
+		s := d.m.PulseStress(d.r) * d.agingFactor
 		d.stress += s
 		res.Stress += s
 		res.Pulses++
@@ -468,7 +461,7 @@ func (d *Device) Program(target, lo, hi float64) ProgramResult {
 		d.r = d.g.LevelResistance(lvl + step)
 	}
 	if res.Pulses == 0 && needsCorrection {
-		s := d.g.PulseStress(d.r) * d.agingFactor
+		s := d.m.PulseStress(d.r) * d.agingFactor
 		d.stress += s
 		res.Stress += s
 		res.Pulses = 1

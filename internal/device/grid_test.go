@@ -35,13 +35,76 @@ func TestGridMatchesParams(t *testing.T) {
 	}
 }
 
+// Reference implementations of the level-selection arithmetic: the
+// exact direct formulas Params used before its quantization methods
+// were consolidated onto the Grid LUT. They are kept here, test-local,
+// so the fuzz below pins the one production implementation against an
+// independent spelling instead of comparing it to itself.
+
+func refNearestLevel(p Params, r float64) int {
+	i := int(math.Round((r - p.RminFresh) / p.LevelSpacing()))
+	if i < 0 {
+		i = 0
+	}
+	if i >= p.Levels {
+		i = p.Levels - 1
+	}
+	return i
+}
+
+func refWindowLevels(p Params, lo, hi float64) (int, int) {
+	loLvl := int(math.Ceil((lo - p.RminFresh) / p.LevelSpacing()))
+	hiLvl := int(math.Floor((hi - p.RminFresh) / p.LevelSpacing()))
+	if loLvl < 0 {
+		loLvl = 0
+	}
+	if hiLvl >= p.Levels {
+		hiLvl = p.Levels - 1
+	}
+	return loLvl, hiLvl
+}
+
+func refNearestLevelIn(p Params, r, lo, hi float64) int {
+	loLvl, hiLvl := refWindowLevels(p, lo, hi)
+	if loLvl > hiLvl {
+		// No level inside the aged window; use the nearest grid point
+		// to the window midpoint.
+		return refNearestLevel(p, (lo+hi)/2)
+	}
+	i := refNearestLevel(p, r)
+	if i < loLvl {
+		return loLvl
+	}
+	if i > hiLvl {
+		return hiLvl
+	}
+	return i
+}
+
+func refUsableLevels(p Params, lo, hi float64) int {
+	loLvl, hiLvl := refWindowLevels(p, lo, hi)
+	if loLvl > hiLvl {
+		return 0
+	}
+	return hiLvl - loLvl + 1
+}
+
+func refPulseStress(p Params, r float64) float64 {
+	if p.UniformStress {
+		return math.Sqrt(p.RminFresh/p.RmaxFresh) * p.stressDerate()
+	}
+	return (p.Vprog * p.Vprog / r * p.PulseWidth) / p.refPulseEnergy() * p.stressDerate()
+}
+
 // FuzzQuantLUTMatchesDirect is the LUT-path equivalence fuzz: over
 // random technologies (level counts, ranges, derates, the uniform
 // ablation) and random aged/faulted bounds states, the grid-based level
 // selection and pulse-stress computation must be bit-identical to the
-// direct Params computation. The seed corpus covers the shipped
-// technologies, collapsed aged windows (no level inside the window),
-// inverted-window midpoint fallbacks, and off-grid drifted resistances.
+// direct reference formulas above — and the Params methods, which now
+// dispatch through the Grid LUT (one source of truth), must agree with
+// both. The seed corpus covers the shipped technologies, collapsed aged
+// windows (no level inside the window), inverted-window midpoint
+// fallbacks, and off-grid drifted resistances.
 func FuzzQuantLUTMatchesDirect(f *testing.F) {
 	f.Add(10e3, 100e3, 32, 55e3, 12e3, 90e3, 0.0, false)
 	f.Add(10e3, 100e3, 64, 100e3, 500.0, 3.4e3, 1.0, false) // window below the grid
@@ -67,21 +130,32 @@ func FuzzQuantLUTMatchesDirect(f *testing.F) {
 			t.Skip()
 		}
 		g := p.Grid()
-		if got, want := g.NearestLevel(r), p.NearestLevel(r); got != want {
+		if got, want := g.NearestLevel(r), refNearestLevel(p, r); got != want {
 			t.Fatalf("NearestLevel(%g): grid %d, direct %d", r, got, want)
 		}
-		gotIn, wantIn := g.NearestLevelIn(r, lo, hi), p.NearestLevelIn(r, lo, hi)
+		gotIn, wantIn := g.NearestLevelIn(r, lo, hi), refNearestLevelIn(p, r, lo, hi)
 		if gotIn != wantIn {
 			t.Fatalf("NearestLevelIn(%g, %g, %g): grid %d, direct %d", r, lo, hi, gotIn, wantIn)
 		}
 		if g.LevelResistance(gotIn) != p.LevelResistance(wantIn) {
 			t.Fatalf("LevelResistance(%d): grid %v, direct %v", gotIn, g.LevelResistance(gotIn), p.LevelResistance(wantIn))
 		}
-		if got, want := g.UsableLevels(lo, hi), p.UsableLevels(lo, hi); got != want {
+		if got, want := g.UsableLevels(lo, hi), refUsableLevels(p, lo, hi); got != want {
 			t.Fatalf("UsableLevels(%g, %g): grid %d, direct %d", lo, hi, got, want)
 		}
-		if got, want := g.PulseStress(r), p.PulseStress(r); got != want {
+		if got, want := g.PulseStress(r), refPulseStress(p, r); got != want {
 			t.Fatalf("PulseStress(%g): grid %v, direct %v", r, got, want)
+		}
+		// The Params methods dispatch through the same LUT; pin the
+		// delegation so the consolidated entry points can never diverge.
+		if got, want := p.NearestLevel(r), g.NearestLevel(r); got != want {
+			t.Fatalf("Params.NearestLevel(%g): %d, grid %d", r, got, want)
+		}
+		if got, want := p.NearestLevelIn(r, lo, hi), gotIn; got != want {
+			t.Fatalf("Params.NearestLevelIn(%g, %g, %g): %d, grid %d", r, lo, hi, got, want)
+		}
+		if got, want := p.UsableLevels(lo, hi), g.UsableLevels(lo, hi); got != want {
+			t.Fatalf("Params.UsableLevels(%g, %g): %d, grid %d", lo, hi, got, want)
 		}
 	})
 }

@@ -15,17 +15,18 @@ import (
 //
 //	MEMLIFE_GOLDEN_ALL=1 go test -run TestGoldenEquivalence ./internal/experiments/
 var goldenHeavy = map[string]bool{
-	"table1":           true,
-	"fault-sweep":      true,
-	"fig10":            true,
-	"fig10vgg":         true,
-	"fig11":            true,
-	"temperature":      true,
-	"related-work":     true,
-	"ablation-stress":  true,
-	"ablation-tracing": true,
-	"ablation-levels":  true,
-	"ablation-policy":  true,
+	"table1":            true,
+	"fault-sweep":       true,
+	"fig10":             true,
+	"fig10vgg":          true,
+	"fig11":             true,
+	"temperature":       true,
+	"related-work":      true,
+	"ablation-stress":   true,
+	"ablation-tracing":  true,
+	"ablation-levels":   true,
+	"ablation-policy":   true,
+	"crossmodel-table1": true,
 }
 
 // TestGoldenEquivalence is the spec-refactor acceptance gate: every

@@ -386,6 +386,11 @@ func runCtx(ctx context.Context, net *nn.Network, trainDS *dataset.Dataset, sc S
 		// per-application online tuning restores the target accuracy
 		// (Section II-C). Stage 1: retune.
 		mn.Drift(cfg.DriftSigma, rng)
+		if p.Drift.Enabled() {
+			// Spontaneous conductance state drift (power-law relaxation
+			// toward Gmin); one interval per deployment cycle.
+			mn.StateDrift(p.Drift.DecayFactor(cycle))
+		}
 		tuneRes, err := tune(cycle, effTarget)
 		if err != nil {
 			return res, fmt.Errorf("lifetime: cycle %d: %w", cycle, err)

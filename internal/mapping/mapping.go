@@ -164,6 +164,10 @@ func Map(mn *crossbar.MappedNetwork, cfg Config, evalX *tensor.Tensor, evalY []i
 		res.Stats.Stuck += s.Stuck
 		res.Stats.Skipped += s.Skipped
 	}
+	// Reprogramming devices to their targets makes any drift-compensation
+	// gains stale (tuning policy "recalib"); reset before the refresh so
+	// the effective weights reflect the fresh programming.
+	mn.ResetGains()
 	if err := mn.Refresh(); err != nil {
 		return res, fmt.Errorf("mapping: %w", err)
 	}

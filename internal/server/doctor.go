@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"memlife/internal/campaign"
@@ -77,6 +78,57 @@ func Doctor(dir string, w io.Writer) (ok bool, err error) {
 	}
 	pass("job journal replays: %d queued, %d done, %d failed",
 		states[JobQueued], states[JobDone], states[JobFailed])
+
+	// Device-physics surface: which device models, state-drift settings
+	// and tuning policies the journaled jobs were computed under. Specs
+	// are content-addressed, so results from different physics never
+	// collide — this line just makes the mix visible to the operator.
+	modelCounts := map[string]int{}
+	drifted, policied := 0, 0
+	for _, j := range q.jobs {
+		var sp struct {
+			Device struct {
+				Model struct {
+					Kind string `json:"kind"`
+				} `json:"model"`
+				Drift struct {
+					Nu float64 `json:"nu"`
+				} `json:"drift"`
+			} `json:"device"`
+			Lifetime struct {
+				Tuning struct {
+					Policy string `json:"policy"`
+				} `json:"tuning"`
+			} `json:"lifetime"`
+		}
+		if len(j.Spec) == 0 || json.Unmarshal(j.Spec, &sp) != nil {
+			continue
+		}
+		kind := sp.Device.Model.Kind
+		if kind == "" {
+			kind = "linear"
+		}
+		modelCounts[kind]++
+		if sp.Device.Drift.Nu != 0 {
+			drifted++
+		}
+		if p := sp.Lifetime.Tuning.Policy; p != "" && p != "sign" {
+			policied++
+		}
+	}
+	if len(modelCounts) > 0 {
+		kinds := make([]string, 0, len(modelCounts))
+		for k := range modelCounts {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		parts := make([]string, 0, len(kinds))
+		for _, k := range kinds {
+			parts = append(parts, fmt.Sprintf("%s x%d", k, modelCounts[k]))
+		}
+		pass("device models across jobs: %s (%d with state drift, %d with drift-adaptive tuning policy)",
+			strings.Join(parts, ", "), drifted, policied)
+	}
 
 	// Result store: every document must decode and carry the id its
 	// filename claims — the content-addressing invariant.

@@ -38,6 +38,7 @@ import (
 	"memlife/internal/fleet"
 	"memlife/internal/lifetime"
 	"memlife/internal/mapping"
+	"memlife/internal/tuning"
 )
 
 // Version is the current spec schema version. Files declaring a
@@ -282,6 +283,9 @@ func (s Spec) Validate() error {
 	if lt.Tuning.StepFrac < 0 || lt.Tuning.StepFrac > 1 {
 		fail("lifetime.tuning.step_frac", "must be in [0,1], got %g", lt.Tuning.StepFrac)
 	}
+	if _, err := tuning.ParsePolicy(lt.Tuning.Policy); err != nil {
+		fail("lifetime.tuning.policy", "%v", err)
+	}
 	if lt.Mapping.MaxCandidates < 0 {
 		fail("lifetime.mapping.max_candidates", "must be non-negative, got %d", lt.Mapping.MaxCandidates)
 	}
@@ -418,6 +422,13 @@ type Overrides struct {
 	Workers  *int
 	Scenario *string
 	Policy   *string
+	// DeviceModel overrides the device-physics model kind
+	// (device.model.kind): "linear", "mms", "yacopcic" or "diffusive".
+	// Variation sigmas and the drift block come from the file/defaults.
+	DeviceModel *string
+	// TuningPolicy overrides the tuning pulse-selection policy
+	// (lifetime.tuning.policy): "sign", "recalib" or "minreprog".
+	TuningPolicy *string
 }
 
 func (o Overrides) apply(s *Spec) {
@@ -435,6 +446,12 @@ func (o Overrides) apply(s *Spec) {
 	}
 	if o.Policy != nil {
 		s.Policy = *o.Policy
+	}
+	if o.DeviceModel != nil {
+		s.Device.Model.Kind = *o.DeviceModel
+	}
+	if o.TuningPolicy != nil {
+		s.Lifetime.Tuning.Policy = *o.TuningPolicy
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"memlife/internal/device"
 	"memlife/internal/lifetime"
 	"memlife/internal/mapping"
 )
@@ -515,5 +516,86 @@ func TestFleetFingerprint(t *testing.T) {
 	}
 	if fpMut == fpFleet {
 		t.Fatal("fleet parameter changes must change the fingerprint")
+	}
+}
+
+// TestDumpRoundTripDeviceModel is the fixed-point contract for the
+// device-model zoo: a spec selecting a non-default physics model, with
+// variation sigmas, state drift and a drift-adaptive tuning policy,
+// must survive dump -> resolve byte-identically (same spec, same
+// fingerprint) — and a default spec must serialize *without* the
+// model/drift/policy keys at all, so every pre-zoo scenario file keeps
+// its historical fingerprint.
+func TestDumpRoundTripDeviceModel(t *testing.T) {
+	s := Defaults(FixtureLeNet, true)
+	s.Name = "model-round-trip"
+	s.Device.Model = device.ModelSpec{Kind: device.ModelDiffusive, D2D: 0.05, C2C: 0.02}
+	s.Device.Drift = device.DriftSpec{Nu: 0.05}
+	s.Lifetime.Tuning.Policy = "recalib"
+
+	dump, err := s.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"model"`, `"drift"`, `"policy"`, `"d2d"`, `"c2c"`, `"nu"`} {
+		if !strings.Contains(string(dump), key) {
+			t.Fatalf("dump of a non-default model spec must surface %s:\n%s", key, dump)
+		}
+	}
+	back, err := ResolveBytes(dump, Overrides{})
+	if err != nil {
+		t.Fatalf("dumped spec must resolve cleanly: %v", err)
+	}
+	if back != s {
+		t.Fatalf("round trip drifted:\ngot  %+v\nwant %+v", back, s)
+	}
+	fp1, err := s.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := back.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatalf("round trip changed the fingerprint: %s vs %s", fp1, fp2)
+	}
+
+	// The zero-value blocks must vanish from serialization: a default
+	// spec's canonical form mentions none of the new schema keys.
+	def := Defaults(FixtureLeNet, true)
+	canon, err := def.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"model"`, `"drift"`, `"policy"`} {
+		if strings.Contains(string(canon), key) {
+			t.Fatalf("default spec must not serialize %s (fingerprint compatibility):\n%s", key, canon)
+		}
+	}
+}
+
+// TestDeviceModelOverrides pins the CLI override path: -device-model
+// and -tuning-policy reach the resolved spec, and invalid values are
+// rejected with the offending JSON path.
+func TestDeviceModelOverrides(t *testing.T) {
+	model, policy := "yacopcic", "minreprog"
+	s, err := ResolveBytes(nil, Overrides{DeviceModel: &model, TuningPolicy: &policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Device.Model.Kind != model {
+		t.Fatalf("device model override not applied: %+v", s.Device.Model)
+	}
+	if s.Lifetime.Tuning.Policy != policy {
+		t.Fatalf("tuning policy override not applied: %q", s.Lifetime.Tuning.Policy)
+	}
+
+	bad := "nonsense"
+	if _, err := ResolveBytes(nil, Overrides{DeviceModel: &bad}); err == nil || !strings.Contains(err.Error(), "device") {
+		t.Fatalf("invalid device model must fail under the device path, got %v", err)
+	}
+	if _, err := ResolveBytes(nil, Overrides{TuningPolicy: &bad}); err == nil || !strings.Contains(err.Error(), "lifetime.tuning.policy") {
+		t.Fatalf("invalid tuning policy must fail under lifetime.tuning.policy, got %v", err)
 	}
 }

@@ -46,6 +46,17 @@ type Config struct {
 	// remaining endurance for a re-mapping attempt. Zero means 10;
 	// negative disables early stopping.
 	Patience int `json:"patience"`
+	// Policy selects the pulse-selection strategy of each tuning
+	// iteration: "sign" (or empty, the default) is the paper's
+	// gradient-sign step (eq. (5)); "recalib" is AIDX-style periodic
+	// scale recalibration, which compensates uniform conductance drift
+	// with per-layer digital output gains and falls back to sign pulses
+	// only when scaling stalls; "minreprog" is the weight-sorting /
+	// bit-stucking reprogramming minimizer, which pulses only the
+	// devices with the largest weight errors and accepts stuck cells
+	// as-is. See policy.go. The field is omitted from serialization
+	// when empty, so pre-policy specs keep their fingerprints.
+	Policy string `json:"policy,omitempty"`
 	// RetryBudget caps the immediate retries of a tuning pulse that
 	// silently failed to move its device (transient programming
 	// failure). Every retry is a real pulse: it dissipates the same
@@ -75,6 +86,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("tuning: BatchSize must be >= 1, got %d", c.BatchSize)
 	case c.StepFrac < 0 || c.StepFrac > 1:
 		return fmt.Errorf("tuning: StepFrac must be in [0,1], got %g", c.StepFrac)
+	}
+	if _, err := ParsePolicy(c.Policy); err != nil {
+		return err
 	}
 	return nil
 }
@@ -154,6 +168,10 @@ func tune(mn *crossbar.MappedNetwork, ds *dataset.Dataset, evalX *tensor.Tensor,
 	if err := cfg.Validate(); err != nil {
 		return res, err
 	}
+	pol, err := ParsePolicy(cfg.Policy)
+	if err != nil {
+		return res, err
+	}
 	rng := tensor.NewRNG(cfg.Seed)
 	pulsesBefore := mn.TotalPulses()
 	stressBefore := mn.TotalStress()
@@ -200,7 +218,7 @@ func tune(mn *crossbar.MappedNetwork, ds *dataset.Dataset, evalX *tensor.Tensor,
 		}
 		b := batches[next]
 		next = (next + 1) % len(batches)
-		retries, skipped, err := step(mn, b, cfg.StepFrac, cfg.RetryBudget, &ar)
+		retries, skipped, err := pol.Step(mn, b, cfg, &ar)
 		if err != nil {
 			return res, err
 		}
